@@ -1,0 +1,138 @@
+// Command experiments regenerates every table and figure in the
+// evaluation of "Parallel Peeling Algorithms" in one run, writing the
+// results to stdout (and optionally to a file for EXPERIMENTS.md). It is
+// the one-stop harness; the per-table binaries (peelsim, subtablesim,
+// ibltbench, figure1, thresholds) offer finer control.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full sizes (much slower)")
+	out := flag.String("out", "", "also write results to this file")
+	nu := flag.Bool("nu", true, "include the Theorem 5 gap sweep")
+	seed := flag.Uint64("seed", 2014, "base RNG seed")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "Parallel Peeling Algorithms (SPAA 2014) — full experiment run\n")
+	fmt.Fprintf(w, "GOMAXPROCS=%d, full=%v, seed=%d, date=%s\n\n",
+		runtime.GOMAXPROCS(0), *full, *seed, time.Now().Format("2006-01-02"))
+
+	section := func(title string) func() {
+		fmt.Fprintf(w, "== %s ==\n", title)
+		start := time.Now()
+		return func() { fmt.Fprintf(w, "(elapsed %v)\n\n", time.Since(start).Round(time.Millisecond)) }
+	}
+
+	done := section("Section 2: thresholds c*(k,r)")
+	experiments.RenderThresholdTable(w, experiments.ThresholdTable([]int{2, 3, 4}, []int{2, 3, 4, 5}))
+	done()
+
+	done = section("Table 1: rounds vs n (r=4, k=2)")
+	t1 := experiments.DefaultTable1()
+	t1.Seed = *seed
+	if !*full {
+		t1.Ns = []int{10000, 20000, 40000, 80000, 160000, 320000, 640000}
+		t1.Trials = 25
+	}
+	res1 := experiments.RunTable1(t1)
+	res1.Render(w)
+	fmt.Fprintf(w, "# below-threshold (c=0.70) log log n slope: %.3f\n", res1.GrowthFit(0, false))
+	fmt.Fprintf(w, "# above-threshold (c=0.85) log n slope: %.3f\n", res1.GrowthFit(len(t1.Cs)-1, true))
+	done()
+
+	done = section("Table 2: recurrence vs simulation (r=4, k=2, n=1e6)")
+	t2 := experiments.DefaultTable2()
+	t2.Seed = *seed
+	if !*full {
+		t2.Trials = 5
+	}
+	res2 := experiments.RunTable2(t2)
+	res2.Render(w)
+	done()
+
+	done = section("Table 3: IBLT serial vs parallel (r=3)")
+	t3 := experiments.DefaultIBLT(3)
+	t3.Seed = *seed
+	if *full {
+		t3.Cells = 1 << 24
+	}
+	experiments.RunIBLT(t3).Render(w)
+	done()
+
+	done = section("Table 4: IBLT serial vs parallel (r=4)")
+	t4 := experiments.DefaultIBLT(4)
+	t4.Seed = *seed
+	if *full {
+		t4.Cells = 1 << 24
+	}
+	experiments.RunIBLT(t4).Render(w)
+	done()
+
+	done = section("Table 5: subtable peeling subrounds (r=4, k=2)")
+	t5 := experiments.DefaultTable5()
+	t5.Seed = *seed
+	if !*full {
+		t5.Ns = []int{10000, 20000, 40000, 80000, 160000, 320000, 640000}
+		t5.Trials = 25
+	}
+	experiments.RunTable5(t5).Render(w)
+	done()
+
+	done = section("Table 6: subtable recurrence vs simulation (r=4, k=2, n=1e6, c=0.7)")
+	t6 := experiments.DefaultTable6()
+	t6.Seed = *seed
+	if !*full {
+		t6.Trials = 5
+	}
+	experiments.RunTable6(t6).Render(w)
+	done()
+
+	done = section("Figure 1: beta trace near the threshold (k=2, r=4)")
+	experiments.RunFigure1(experiments.DefaultFigure1()).Render(w)
+	done()
+
+	if *nu {
+		done = section("Theorem 5: rounds vs gap nu = c* - c (idealized recurrence)")
+		experiments.RunNuSweep(experiments.DefaultNuSweep()).Render(w)
+		done()
+
+		done = section("Theorem 5: rounds vs gap (measured on graphs)")
+		empCfg := experiments.DefaultEmpiricalNu()
+		if !*full {
+			empCfg.N = 1 << 19
+			empCfg.Trials = 3
+		}
+		experiments.RunEmpiricalNu(empCfg).Render(w)
+		done()
+	}
+
+	done = section("Model validation: tree MC vs recurrence vs graph (Section 3.1 chain)")
+	valCfg := experiments.DefaultModelValidation()
+	if !*full {
+		valCfg.N = 1 << 19
+		valCfg.TreeTrials = 20000
+	}
+	experiments.RenderModelValidation(w, experiments.RunModelValidation(valCfg))
+	done()
+}

@@ -1,0 +1,42 @@
+// Command figure1 reproduces Figure 1 of "Parallel Peeling Algorithms":
+// the idealized β_i trajectory (Equation (C.1)) for densities just below
+// the threshold c*_{2,4} ≈ 0.77228, whose long plateau near x* is the
+// Θ(√(1/ν)) middle phase of Theorem 5. Output is a plottable table, one β
+// column per density.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+)
+
+func main() {
+	c1 := flag.Float64("c1", 0.77, "first density")
+	c2 := flag.Float64("c2", 0.772, "second density")
+	k := flag.Int("k", 2, "core parameter")
+	r := flag.Int("r", 4, "edge arity")
+	maxRounds := flag.Int("rounds", 400, "maximum rounds to trace")
+	table := flag.Bool("table", false, "print the raw table instead of the chart")
+	flag.Parse()
+
+	cfg := experiments.Figure1Config{
+		K: *k, R: *r, Cs: []float64{*c1, *c2}, MaxRounds: *maxRounds, StopBelow: 1e-6,
+	}
+	res := experiments.RunFigure1(cfg)
+	if *table {
+		res.Render(os.Stdout)
+	} else {
+		series := make([]chart.Series, len(res.Series))
+		for i, s := range res.Series {
+			series[i] = chart.Series{Name: fmt.Sprintf("c=%.4g", s.C), Values: s.Betas}
+		}
+		fmt.Printf("Figure 1: beta_i near c* = %.5f (x* = %.4f)\n\n", res.CStar, res.XStar)
+		chart.Render(os.Stdout, chart.Config{Width: 76, Height: 22, YLabel: "beta_i", XLabel: "round i"}, series...)
+	}
+	fmt.Printf("# plateau lengths (|beta - x*| < 0.1): %d rounds at c=%.4g, %d rounds at c=%.4g\n",
+		res.PlateauLength(0, 0.1), *c1, res.PlateauLength(1, 0.1), *c2)
+}

@@ -1,0 +1,60 @@
+// Command subtablesim reproduces Tables 5 and 6 of "Parallel Peeling
+// Algorithms": subround counts for the Appendix B subtable peeling
+// process (Table 5) and the subtable recurrence λ′_{i,j} against
+// simulation (Table 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fib"
+)
+
+func main() {
+	table5 := flag.Bool("table5", true, "run the Table 5 sweep (subrounds vs n)")
+	table6 := flag.Bool("table6", true, "run the Table 6 comparison (subtable recurrence vs simulation)")
+	full := flag.Bool("full", false, "use the paper's full sizes")
+	trials := flag.Int("trials", 0, "override trial count (0 = preset)")
+	seed := flag.Uint64("seed", 2014, "base RNG seed")
+	flag.Parse()
+
+	if *table5 {
+		cfg := experiments.DefaultTable5()
+		cfg.Seed = *seed
+		if !*full {
+			cfg.Ns = []int{10000, 20000, 40000, 80000, 160000, 320000}
+			cfg.Trials = 50
+		}
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		fmt.Printf("Table 5: subtable peeling subrounds, r=%d k=%d, %d trials\n", cfg.R, cfg.K, cfg.Trials)
+		start := time.Now()
+		res := experiments.RunTable5(cfg)
+		res.Render(os.Stdout)
+		fmt.Printf("# Theorem 4 subround constant r/(r log phi_{r-1} + log(k-1)) = %.3f; plain-round constant = 0.910\n",
+			fib.SubroundLeadConstant(cfg.K, cfg.R))
+		fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *table6 {
+		cfg := experiments.DefaultTable6()
+		cfg.Seed = *seed
+		if !*full {
+			cfg.Trials = 10
+		}
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		fmt.Printf("Table 6: subtable recurrence vs simulation, r=%d k=%d n=%d c=%.2f, %d trials\n",
+			cfg.R, cfg.K, cfg.N, cfg.C, cfg.Trials)
+		start := time.Now()
+		res := experiments.RunTable6(cfg)
+		res.Render(os.Stdout)
+		fmt.Printf("# elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,51 @@
+// Command thresholds prints the k-core appearance thresholds c*(k,r) of
+// Equation (2.1) over a (k, r) grid, reproducing the Section 2 reference
+// values (c*_{2,3} ≈ 0.818, c*_{2,4} ≈ 0.772, c*_{3,3} ≈ 1.553) along
+// with the Theorem 1 round constants and the Theorem 4/7 subtable
+// constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/fib"
+	"repro/internal/threshold"
+)
+
+func main() {
+	maxK := flag.Int("maxk", 5, "largest k to tabulate")
+	maxR := flag.Int("maxr", 6, "largest r to tabulate")
+	flag.Parse()
+
+	var ks, rs []int
+	for k := 2; k <= *maxK; k++ {
+		ks = append(ks, k)
+	}
+	for r := 2; r <= *maxR; r++ {
+		rs = append(rs, r)
+	}
+	fmt.Println("k-core emptiness thresholds c*(k,r)  [Equation (2.1)]")
+	experiments.RenderThresholdTable(os.Stdout, experiments.ThresholdTable(ks, rs))
+
+	fmt.Println()
+	fmt.Println("Theorem 1 round constants 1/log((k-1)(r-1)) and Theorem 4 subround constants")
+	fmt.Printf("%-4s %-4s %-12s %-12s %-10s\n", "k", "r", "1/log((k-1)(r-1))", "subround const", "overhead")
+	for _, k := range ks {
+		for _, r := range rs {
+			if r < 3 || (k == 2 && r == 2) {
+				continue
+			}
+			if (k-1)*(r-1) <= 1 {
+				continue
+			}
+			fmt.Printf("%-4d %-4d %-17.4f %-14.4f %-10.4f\n",
+				k, r,
+				threshold.RoundLeadConstant(k, r),
+				fib.SubroundLeadConstant(k, r),
+				fib.SubroundOverheadFactor(r))
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Jiang, Mitzenmacher, Thaler — "Parallel Peeling Algorithms" (SPAA 2014)
+//
+// It provides random r-uniform hypergraph generation, sequential and
+// round-synchronous parallel peeling to the k-core (plus the Appendix B
+// subtable variant), the idealized recurrences and threshold formulas the
+// paper analyzes, and the peeling-based data structures the paper
+// motivates: Invertible Bloom Lookup Tables (with serial and parallel
+// recovery), Biff-style erasure codes, BDZ minimal perfect hashing,
+// XORSAT solving, and cuckoo placement.
+//
+// # Quick start
+//
+//	g := repro.NewUniformHypergraph(1_000_000, 700_000, 4, 42) // c = 0.7
+//	res := repro.PeelParallel(g, 2)
+//	fmt.Println(res.Rounds, res.Empty()) // ≈13 rounds, empty 2-core
+//
+// The headline results:
+//
+//   - Below the threshold density c*(k,r), parallel peeling empties the
+//     k-core in (1/log((k−1)(r−1)))·log log n + O(1) rounds (Theorems 1-2).
+//   - Above it, reaching the (non-empty) k-core takes Ω(log n) rounds
+//     (Theorem 3).
+//   - Peeling r subtables in serial subrounds — the trick that stops a
+//     parallel implementation from peeling an item twice — costs only a
+//     log(r−1)/log φ_{r−1} factor in subrounds, not a factor of r
+//     (Theorems 4/7).
+//
+// The cmd/ binaries regenerate every table and figure in the paper's
+// evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for measured-vs-paper results.
+package repro

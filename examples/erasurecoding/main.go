@@ -1,0 +1,61 @@
+// Erasure coding with a Biff-style peeling code (Mitzenmacher & Varghese):
+// every data symbol is XORed into r = 3 check cells; losing up to
+// ~0.818 × cells symbols still allows exact reconstruction, because the
+// missing symbols form a random 3-uniform hypergraph whose 2-core is
+// empty below the threshold — the regime where the paper's parallel
+// peeling finishes in O(log log n) rounds.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	const nSymbols = 1_000_000
+	const checkCells = 40_000 // 4% overhead
+
+	gen := rng.New(11)
+	data := make([]uint64, nSymbols)
+	for i := range data {
+		data[i] = gen.Uint64()
+	}
+	code := repro.NewErasureCode(checkCells, 3, 77)
+	checks := code.Encode(data)
+	cstar, _ := repro.Threshold(2, 3)
+	budget := code.MaxTolerableLoss(cstar)
+	fmt.Printf("encoded %d symbols into %d check cells (%.1f%% overhead)\n",
+		nSymbols, checkCells, 100*float64(checkCells)/nSymbols)
+	fmt.Printf("loss budget: ~%d symbols (threshold c*(2,3) = %.4f)\n\n", budget, cstar)
+
+	for _, losses := range []int{25_000, 30_000, 38_000} {
+		received := append([]uint64(nil), data...)
+		present := make([]bool, nSymbols)
+		for i := range present {
+			present[i] = true
+		}
+		perm := gen.Perm(nSymbols)
+		for _, i := range perm[:losses] {
+			received[i] = 0
+			present[i] = false
+		}
+
+		err := code.Decode(received, present, checks)
+		status := "recovered exactly"
+		if err != nil {
+			status = err.Error()
+		} else {
+			for i := range data {
+				if received[i] != data[i] {
+					status = "MISCOMPARE (bug)"
+					break
+				}
+			}
+		}
+		fmt.Printf("lost %6d symbols (load %.3f): %s\n",
+			losses, float64(losses)/checkCells, status)
+	}
+	fmt.Println("\nthe failure at load > 0.818 is the Theorem 3 regime: a non-empty 2-core survives")
+}

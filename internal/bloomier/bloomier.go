@@ -1,0 +1,192 @@
+// Package bloomier implements a Bloomier-filter-style static function
+// (Chazelle, Kilian, Rubinfeld, Tal — reference [4] of the paper): an
+// immutable map from a fixed key set to values, stored in ~1.23 slots per
+// key with O(1) lookups and no explicit key storage.
+//
+// Construction is pure peeling: keys are edges of a random 3-partite
+// hypergraph over the slot array, and if the 2-core is empty the linear
+// system "XOR of a key's 3 slots = value" is triangular in reverse peel
+// order, so it is solved by back-substitution without Gaussian
+// elimination. This is exactly the regime the paper analyzes — density
+// 1/1.23 ≈ 0.813 < c*(2,3) ≈ 0.818 — and the same construction
+// underlies Biff codes and XOR-based retrieval structures.
+//
+// Lookups on keys outside the build set return arbitrary values (add a
+// fingerprint to detect them if needed).
+package bloomier
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// DefaultGamma is the slots-per-key overhead, chosen just below the
+// peeling threshold like the MPHF construction.
+const DefaultGamma = 1.23
+
+const arity = 3
+
+// Filter is an immutable key → uint64 map built by Build.
+type Filter struct {
+	seed    uint64
+	hseed   [arity]uint64
+	subSize int
+	slots   []uint64
+}
+
+// ErrBuildFailed is returned when peeling leaves a non-empty 2-core on
+// every attempted seed (with distinct keys this is astronomically rare
+// at γ = 1.23; the usual cause is duplicate keys).
+var ErrBuildFailed = errors.New("bloomier: construction failed on all attempts")
+
+// Build constructs a filter mapping keys[i] → values[i]. Keys must be
+// distinct. gamma is the slot/key ratio (use DefaultGamma); maxTries
+// bounds seed retries.
+func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
+	}
+	if gamma < 1.1 {
+		return nil, fmt.Errorf("bloomier: gamma %.3f too small (< 1.1 cannot peel)", gamma)
+	}
+	if maxTries <= 0 {
+		maxTries = 10
+	}
+	m := len(keys)
+	subSize := int(gamma*float64(m))/arity + 1
+	if subSize < 2 {
+		subSize = 2
+	}
+	for try := 0; try < maxTries; try++ {
+		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
+		for j := 0; j < arity; j++ {
+			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
+		}
+		if f.assign(keys, values) {
+			return f, nil
+		}
+	}
+	return nil, ErrBuildFailed
+}
+
+func (f *Filter) vertices(x uint64) [arity]uint32 {
+	var vs [arity]uint32
+	for j := 0; j < arity; j++ {
+		h := rng.Mix64(x ^ f.hseed[j])
+		vs[j] = uint32(j*f.subSize) + uint32((h>>32)*uint64(f.subSize)>>32)
+	}
+	return vs
+}
+
+// assign peels the key hypergraph and back-substitutes slot values so
+// that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; reports
+// whether peeling reached the empty 2-core.
+func (f *Filter) assign(keys, values []uint64) bool {
+	n := f.subSize * arity
+	edges := make([]uint32, 0, len(keys)*arity)
+	for _, x := range keys {
+		vs := f.vertices(x)
+		edges = append(edges, vs[0], vs[1], vs[2])
+	}
+	g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+	peel := core.Sequential(g, 2)
+	if !peel.Empty() {
+		return false
+	}
+	f.slots = make([]uint64, n)
+	// Reverse peel order: the free vertex's slot is still untouched when
+	// its edge is processed, and the other two slots are final.
+	for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
+		e := int(peel.PeelOrder[i])
+		free := peel.FreeVertex[e]
+		vs := g.EdgeVertices(e)
+		acc := values[e]
+		for _, u := range vs {
+			if u != free {
+				acc ^= f.slots[u]
+			}
+		}
+		f.slots[free] = acc
+	}
+	return true
+}
+
+// Lookup returns the value stored for key x (arbitrary for foreign keys).
+func (f *Filter) Lookup(x uint64) uint64 {
+	vs := f.vertices(x)
+	return f.slots[vs[0]] ^ f.slots[vs[1]] ^ f.slots[vs[2]]
+}
+
+// BuildParallel is Build with both phases parallelized: the hypergraph
+// is peeled with the subround process (core.SubtablesOriented), and slot
+// assignment walks the released layers in reverse with full parallelism
+// inside each layer — sound because a layer-L edge's non-free endpoints
+// are only ever freed in strictly later layers (see core.Orientation).
+//
+// Build keys look up identical values to a serial Build with the same
+// seed (both solve the same constraint system exactly). Foreign keys may
+// read different garbage: the system is underdetermined and the two
+// peel orders choose different free-variable completions.
+func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
+	}
+	if gamma < 1.1 {
+		return nil, fmt.Errorf("bloomier: gamma %.3f too small (< 1.1 cannot peel)", gamma)
+	}
+	if maxTries <= 0 {
+		maxTries = 10
+	}
+	m := len(keys)
+	subSize := int(gamma*float64(m))/arity + 1
+	if subSize < 2 {
+		subSize = 2
+	}
+	for try := 0; try < maxTries; try++ {
+		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
+		for j := 0; j < arity; j++ {
+			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
+		}
+		n := f.subSize * arity
+		edges := make([]uint32, m*arity)
+		parallel.For(m, 2048, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vs := f.vertices(keys[i])
+				copy(edges[i*arity:], vs[:])
+			}
+		})
+		g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+		res, orient := core.SubtablesOriented(g, 2, core.Options{})
+		if !res.Empty() {
+			continue
+		}
+		f.slots = make([]uint64, n)
+		for li := len(orient.Layers) - 1; li >= 0; li-- {
+			layer := orient.Layers[li]
+			parallel.For(len(layer), 1024, func(lo, hi int) {
+				for idx := lo; idx < hi; idx++ {
+					e := layer[idx]
+					free := orient.FreeVertex[e]
+					acc := values[e]
+					for _, u := range g.EdgeVertices(int(e)) {
+						if u != free {
+							acc ^= f.slots[u]
+						}
+					}
+					f.slots[free] = acc
+				}
+			})
+		}
+		return f, nil
+	}
+	return nil, ErrBuildFailed
+}
+
+// Slots returns the size of the slot array (≈ γ × keys); total storage is
+// 8·Slots() bytes.
+func (f *Filter) Slots() int { return len(f.slots) }

@@ -1,0 +1,202 @@
+package bloomier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func buildInputs(n int, seed uint64) (keys, values []uint64) {
+	gen := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	for len(keys) < n {
+		k := gen.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+			values = append(values, gen.Uint64())
+		}
+	}
+	return keys, values
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	keys, values := buildInputs(50000, 1)
+	f, err := Build(keys, values, DefaultGamma, 42, 10)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i, k := range keys {
+		if got := f.Lookup(k); got != values[i] {
+			t.Fatalf("Lookup(%#x) = %#x, want %#x", k, got, values[i])
+		}
+	}
+	// Space: ~γ slots per key.
+	if s := f.Slots(); s > int(1.5*float64(len(keys))) {
+		t.Errorf("Slots() = %d, too large for %d keys", s, len(keys))
+	}
+}
+
+func TestSmallMaps(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 33} {
+		keys, values := buildInputs(n, uint64(100+n))
+		f, err := Build(keys, values, DefaultGamma, 7, 20)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, k := range keys {
+			if f.Lookup(k) != values[i] {
+				t.Fatalf("n=%d: wrong value", n)
+			}
+		}
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := Build([]uint64{1, 2}, []uint64{1}, DefaultGamma, 1, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGammaTooSmall(t *testing.T) {
+	keys, values := buildInputs(10, 3)
+	if _, err := Build(keys, values, 1.0, 1, 3); err == nil {
+		t.Fatal("gamma 1.0 accepted")
+	}
+}
+
+func TestZeroValuesFine(t *testing.T) {
+	// Unlike the IBLT (where 0 keys break XOR accounting), zero *values*
+	// are perfectly representable here.
+	keys, _ := buildInputs(100, 4)
+	values := make([]uint64, len(keys))
+	f, err := Build(keys, values, DefaultGamma, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if f.Lookup(k) != 0 {
+			t.Fatal("zero value corrupted")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	keys, values := buildInputs(1000, 5)
+	a, err := Build(keys, values, DefaultGamma, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(keys, values, DefaultGamma, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatal("same-seed builds disagree")
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%400) + 1
+		keys, values := buildInputs(n, seed)
+		flt, err := Build(keys, values, DefaultGamma, seed^0xf00, 20)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if flt.Lookup(k) != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	keys, values := buildInputs(30000, 7)
+	serial, err := Build(keys, values, DefaultGamma, 55, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildParallel(keys, values, DefaultGamma, 55, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same constraint system: build-key lookups must agree
+	// exactly. (Foreign probes may differ — the system is
+	// underdetermined and the two peel orders complete it differently.)
+	for i, k := range keys {
+		if par.Lookup(k) != values[i] {
+			t.Fatalf("parallel build wrong value for key %d", i)
+		}
+		if par.Lookup(k) != serial.Lookup(k) {
+			t.Fatalf("parallel and serial builds disagree on key %d", i)
+		}
+	}
+}
+
+func TestBuildParallelSmall(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 100} {
+		keys, values := buildInputs(n, uint64(200+n))
+		f, err := BuildParallel(keys, values, DefaultGamma, 9, 20)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, k := range keys {
+			if f.Lookup(k) != values[i] {
+				t.Fatalf("n=%d: wrong value", n)
+			}
+		}
+	}
+}
+
+func TestBuildParallelValidation(t *testing.T) {
+	if _, err := BuildParallel([]uint64{1}, []uint64{1, 2}, DefaultGamma, 1, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BuildParallel([]uint64{1, 2}, []uint64{3, 4}, 1.0, 1, 5); err == nil {
+		t.Error("tiny gamma accepted")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys, values := buildInputs(1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(keys, values, DefaultGamma, uint64(i), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	keys, values := buildInputs(1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildParallel(keys, values, DefaultGamma, uint64(i), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	keys, values := buildInputs(1<<16, 1)
+	f, err := Build(keys, values, DefaultGamma, 1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Lookup(keys[i&(1<<16-1)])
+	}
+	_ = sink
+}

@@ -1,0 +1,114 @@
+// Package branching simulates the idealized Poisson branching process of
+// Section 3.1 of the paper directly — the tree model whose survival
+// probabilities ρ_i and λ_i the recurrences compute in closed form.
+//
+// Simulating the tree independently of any hypergraph validates the
+// paper's modeling step itself: the recurrence (checked against this
+// simulator) and the hypergraph experiments (checked against the
+// recurrence in Tables 2 and 6) together close the loop
+//
+//	tree model  ==  recurrence  ==  G^r_{n,cn} simulation.
+//
+// The simulator evaluates survival lazily: whether the root survives t
+// rounds depends on child subtrees surviving t−1 rounds, so the tree is
+// expanded only as deep as needed, and the expected work per trial is the
+// paper's expected neighborhood size.
+package branching
+
+import (
+	"repro/internal/rng"
+)
+
+// Params mirror the recurrence parameters: peel threshold K, edge arity
+// R, density C (mean offspring edges per vertex is R·C).
+type Params struct {
+	K int
+	R int
+	C float64
+}
+
+// maxNodes bounds the per-trial tree expansion; trials exceeding it are
+// counted as survivors (supercritical trees above the threshold would
+// otherwise expand forever).
+const maxNodes = 1 << 22
+
+// survives reports whether a non-root vertex survives `rounds` rounds of
+// peeling in the idealized tree: it needs at least K−1 surviving child
+// edges, where a child edge survives iff all its R−1 child vertices
+// survive rounds−1 rounds. budget caps total node expansions.
+func (p Params) survives(rounds int, gen *rng.RNG, budget *int) bool {
+	if rounds <= 0 {
+		return true // ρ_0 = 1: everything survives zero rounds
+	}
+	*budget--
+	if *budget <= 0 {
+		return true // pessimistic: treat out-of-budget trees as survivors
+	}
+	need := p.K - 1
+	edges := gen.Poisson(float64(p.R) * p.C)
+	surviving := 0
+	for e := 0; e < edges; e++ {
+		// Early exit: can the remaining edges still reach `need`?
+		if surviving+edges-e < need {
+			return false
+		}
+		alive := true
+		for v := 0; v < p.R-1; v++ {
+			if !p.survives(rounds-1, gen, budget) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			surviving++
+			if surviving >= need {
+				return true
+			}
+		}
+	}
+	return surviving >= need
+}
+
+// RootSurvives reports whether the root vertex survives `rounds` rounds:
+// the root needs K surviving child edges (λ rather than ρ). λ_0 = 1 by
+// the paper's convention: nothing is peeled before round 1.
+func (p Params) RootSurvives(rounds int, gen *rng.RNG) bool {
+	if rounds <= 0 {
+		return true
+	}
+	budget := maxNodes
+	need := p.K
+	edges := gen.Poisson(float64(p.R) * p.C)
+	surviving := 0
+	for e := 0; e < edges; e++ {
+		if surviving+edges-e < need {
+			return false
+		}
+		alive := true
+		for v := 0; v < p.R-1; v++ {
+			if !p.survives(rounds-1, gen, &budget) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			surviving++
+			if surviving >= need {
+				return true
+			}
+		}
+	}
+	return surviving >= need
+}
+
+// SurvivalProbability estimates λ_rounds by Monte Carlo over `trials`
+// independent trees, using per-trial RNG streams derived from seed.
+func (p Params) SurvivalProbability(rounds, trials int, seed uint64) float64 {
+	alive := 0
+	for i := 0; i < trials; i++ {
+		if p.RootSurvives(rounds, rng.NewStream(seed, uint64(i))) {
+			alive++
+		}
+	}
+	return float64(alive) / float64(trials)
+}

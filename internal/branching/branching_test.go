@@ -1,0 +1,82 @@
+package branching
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/recurrence"
+)
+
+// The Monte Carlo tree simulation must agree with the closed-form
+// recurrence: this closes the loop between the paper's model (this
+// package), its analysis (internal/recurrence), and the hypergraph
+// simulations (checked against the recurrence elsewhere).
+func TestSurvivalMatchesRecurrence(t *testing.T) {
+	const trials = 40000
+	for _, cfg := range []struct {
+		k, r   int
+		c      float64
+		rounds int
+	}{
+		{2, 4, 0.7, 1},
+		{2, 4, 0.7, 3},
+		{2, 4, 0.7, 6},
+		{2, 4, 0.85, 4},
+		{2, 3, 0.6, 5},
+		{3, 3, 1.2, 4},
+	} {
+		p := Params{K: cfg.k, R: cfg.r, C: cfg.c}
+		got := p.SurvivalProbability(cfg.rounds, trials, 99)
+		want := recurrence.Params{K: cfg.k, R: cfg.r, C: cfg.c}.Lambda(cfg.rounds)
+		se := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 6*se+0.003 {
+			t.Errorf("k=%d r=%d c=%v t=%d: MC %.4f vs recurrence %.4f (se %.4f)",
+				cfg.k, cfg.r, cfg.c, cfg.rounds, got, want, se)
+		}
+	}
+}
+
+func TestZeroRoundsAlwaysSurvives(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	if got := p.SurvivalProbability(0, 100, 1); got != 1 {
+		t.Errorf("λ_0 = %v, want 1", got)
+	}
+}
+
+func TestSurvivalMonotoneInRounds(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	prev := 1.0
+	for rounds := 1; rounds <= 6; rounds++ {
+		cur := p.SurvivalProbability(rounds, 8000, 7)
+		if cur > prev+0.02 { // MC slack
+			t.Errorf("survival increased with rounds: %v -> %v at t=%d", prev, cur, rounds)
+		}
+		prev = cur
+	}
+}
+
+func TestSupercriticalStabilizes(t *testing.T) {
+	// Above the threshold the survival probability converges to the core
+	// fraction rather than 0.
+	p := Params{K: 2, R: 4, C: 0.85}
+	got := p.SurvivalProbability(8, 8000, 13)
+	if got < 0.7 || got > 0.85 {
+		t.Errorf("supercritical survival %.3f, want near core fraction 0.775", got)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	a := p.SurvivalProbability(4, 2000, 5)
+	b := p.SurvivalProbability(4, 2000, 5)
+	if a != b {
+		t.Error("same-seed Monte Carlo runs differ")
+	}
+}
+
+func BenchmarkSurvival6Rounds(b *testing.B) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	for i := 0; i < b.N; i++ {
+		p.SurvivalProbability(6, 100, uint64(i))
+	}
+}

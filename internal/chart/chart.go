@@ -1,0 +1,101 @@
+// Package chart renders simple ASCII line charts, enough to draw the
+// paper's Figure 1 (β_i trajectories near the threshold) in a terminal
+// without any plotting dependency.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Values []float64 // y per integer x (x = index+1)
+}
+
+// Config controls the canvas.
+type Config struct {
+	Width  int // columns of the plot area (default 72)
+	Height int // rows of the plot area (default 20)
+	YLabel string
+	XLabel string
+}
+
+// markers cycle across series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series onto w. X is the value index (1-based,
+// compressed to fit Width); Y spans [min, max] across all series. Each
+// series uses its own marker; overlapping points show the later series.
+func Render(w io.Writer, cfg Config, series ...Series) {
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	maxLen := 0
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v < yMin {
+				yMin = v
+			}
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Values {
+			col := 0
+			if maxLen > 1 {
+				col = i * (cfg.Width - 1) / (maxLen - 1)
+			}
+			row := int((yMax - v) / (yMax - yMin) * float64(cfg.Height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= cfg.Height {
+				row = cfg.Height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	if cfg.YLabel != "" {
+		fmt.Fprintf(w, "%s\n", cfg.YLabel)
+	}
+	for r, line := range grid {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(cfg.Height-1)
+		fmt.Fprintf(w, "%9.3g |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(w, "%9s  1%s%d", "", strings.Repeat(" ", cfg.Width-2-len(fmt.Sprint(maxLen))), maxLen)
+	if cfg.XLabel != "" {
+		fmt.Fprintf(w, "  (%s)", cfg.XLabel)
+	}
+	fmt.Fprintln(w)
+	for si, s := range series {
+		fmt.Fprintf(w, "%9s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+}

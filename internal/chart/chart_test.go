@@ -1,0 +1,71 @@
+package chart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, Config{Width: 40, Height: 10, YLabel: "beta", XLabel: "round"},
+		Series{Name: "c=0.77", Values: []float64{3, 2.5, 2.2, 2.0, 1.5, 0.5, 0.01}},
+		Series{Name: "c=0.772", Values: []float64{3.1, 2.6, 2.3, 2.1, 2.0, 1.9, 1.8}},
+	)
+	out := buf.String()
+	for _, want := range []string{"beta", "round", "c=0.77", "c=0.772", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Ylabel + height rows + axis + xaxis labels + 2 legend lines.
+	if len(lines) != 1+10+1+1+2 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, Config{})
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty render should say so")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, Config{Width: 20, Height: 5}, Series{Name: "flat", Values: []float64{2, 2, 2}})
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf, Config{Width: 20, Height: 5}, Series{Name: "dot", Values: []float64{1}})
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestMarkerPlacementMonotone(t *testing.T) {
+	// A strictly decreasing series must have its first marker above its
+	// last marker in the grid.
+	var buf bytes.Buffer
+	Render(&buf, Config{Width: 30, Height: 8},
+		Series{Name: "down", Values: []float64{10, 8, 6, 4, 2, 0}})
+	lines := strings.Split(buf.String(), "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if idx := strings.IndexByte(line, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || lastRow <= firstRow {
+		t.Errorf("decreasing series rows: first %d last %d", firstRow, lastRow)
+	}
+}

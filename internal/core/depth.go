@@ -1,0 +1,141 @@
+package core
+
+import (
+	"repro/internal/hypergraph"
+)
+
+// InCore marks, in a depth vector, a vertex that survives peeling (its
+// depth is undefined; it is never removed).
+const InCore = int32(-1)
+
+// Depths returns, for every vertex, the round of the parallel peeling
+// process in which it is removed (1-based), or InCore if it survives in
+// the k-core. The depth vector refines Result.SurvivorHistory: the number
+// of vertices with depth t equals the survivor drop at round t, and the
+// maximum depth equals Result.Rounds.
+//
+// Depth is a structural quantity — it does not depend on how the peeling
+// is executed (sequential, parallel, frontier, or full scan all induce
+// the same depths), and it equals the BFS "peeling wave" distance the
+// paper's branching-process analysis models. It is computed with a
+// work-efficient sequential sweep, O(n + m·r).
+func Depths(g *hypergraph.Hypergraph, k int) []int32 {
+	validateK(k)
+	deg := g.Degrees()
+	depth := make([]int32, g.N)
+	for v := range depth {
+		depth[v] = InCore
+	}
+	edead := make([]uint8, g.M)
+
+	// Round-layered BFS: current holds round t's peel set.
+	current := make([]uint32, 0, g.N)
+	next := make([]uint32, 0, g.N)
+	k32 := int32(k)
+	for v := 0; v < g.N; v++ {
+		if deg[v] < k32 {
+			current = append(current, uint32(v))
+		}
+	}
+	for round := int32(1); len(current) > 0; round++ {
+		// Mark the whole layer first so same-round neighbors do not
+		// enqueue each other twice.
+		for _, v := range current {
+			depth[v] = round
+		}
+		next = next[:0]
+		for _, v := range current {
+			for _, e := range g.VertexEdges(int(v)) {
+				if edead[e] != 0 {
+					continue
+				}
+				// An edge dies in the round its first endpoint is peeled;
+				// endpoints peeled in the same round also kill it (they
+				// were all selected before any removal took effect).
+				edead[e] = 1
+				for _, u := range g.EdgeVertices(int(e)) {
+					if u == v || depth[u] != InCore {
+						continue
+					}
+					deg[u]--
+					if deg[u] == k32-1 { // just crossed below k
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		current, next = next, current
+	}
+	return depth
+}
+
+// Coreness returns, for every vertex, the largest k such that the vertex
+// belongs to the k-core (0 for isolated vertices). It runs the classic
+// bucket-queue peeling-order algorithm generalized to hypergraphs: at
+// each step the minimum-degree vertex is removed and its coreness is the
+// running maximum of those minimum degrees; removing a vertex removes
+// its incident edges.
+//
+// Coreness connects the per-k views: vertex v survives Peel(g, k) iff
+// Coreness(g)[v] >= k (tested as a cross-module invariant).
+func Coreness(g *hypergraph.Hypergraph) []int32 {
+	n := g.N
+	deg := g.Degrees()
+	coreness := make([]int32, n)
+
+	// Bucket queue over degrees. maxDeg bounds bucket count.
+	maxDeg := int32(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]uint32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], uint32(v))
+	}
+	removed := make([]uint8, n)
+	edead := make([]uint8, g.M)
+
+	processed := 0
+	cur := int32(0) // running max of min-degrees = current coreness level
+	for d := int32(0); d <= maxDeg && processed < n; {
+		if len(buckets[d]) == 0 {
+			d++
+			continue
+		}
+		v := buckets[d][len(buckets[d])-1]
+		buckets[d] = buckets[d][:len(buckets[d])-1]
+		if removed[v] != 0 || deg[v] != d {
+			// Stale entry: the vertex moved to a lower bucket after this
+			// entry was pushed (degrees only decrease), or is gone.
+			continue
+		}
+		removed[v] = 1
+		processed++
+		if d > cur {
+			cur = d
+		}
+		coreness[v] = cur
+		for _, e := range g.VertexEdges(int(v)) {
+			if edead[e] != 0 {
+				continue
+			}
+			edead[e] = 1
+			for _, u := range g.EdgeVertices(int(e)) {
+				if u == v || removed[u] != 0 {
+					continue
+				}
+				deg[u]--
+				nd := deg[u]
+				buckets[nd] = append(buckets[nd], u)
+				if nd < d {
+					// Removing v dropped a neighbor below the current
+					// level; rewind the scan pointer.
+					d = nd
+				}
+			}
+		}
+	}
+	return coreness
+}

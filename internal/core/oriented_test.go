@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+func TestSubtablesOrientedMatchesSubtables(t *testing.T) {
+	g := partitionedGraph(60000, 42000, 4, 80)
+	plain := Subtables(g, 2, Options{})
+	res, orient := SubtablesOriented(g, 2, Options{})
+	if res.Subrounds != plain.Subrounds || res.Rounds != plain.Rounds ||
+		res.CoreVertices != plain.CoreVertices {
+		t.Errorf("oriented run differs: subrounds %d/%d cores %d/%d",
+			res.Subrounds, plain.Subrounds, res.CoreVertices, plain.CoreVertices)
+	}
+	for i := range plain.SurvivorHistory {
+		if res.SurvivorHistory[i] != plain.SurvivorHistory[i] {
+			t.Fatalf("subround %d: histories differ", i+1)
+		}
+	}
+	if !ValidateOrientation(g, orient, 2) {
+		t.Fatal("orientation invalid")
+	}
+	// Every peeled edge oriented; layer sizes sum to m when core empty.
+	if !res.Empty() {
+		t.Fatal("instance did not peel")
+	}
+	total := 0
+	for _, layer := range orient.Layers {
+		total += len(layer)
+	}
+	if total != g.M {
+		t.Errorf("layers cover %d of %d edges", total, g.M)
+	}
+}
+
+func TestSubtablesOrientedDeterministicOrientation(t *testing.T) {
+	// The free-vertex map must be identical across runs (claims are
+	// contention-free by construction); only intra-layer order may vary.
+	g := partitionedGraph(30000, 21000, 4, 81)
+	_, a := SubtablesOriented(g, 2, Options{})
+	_, b := SubtablesOriented(g, 2, Options{})
+	for e := 0; e < g.M; e++ {
+		if a.FreeVertex[e] != b.FreeVertex[e] {
+			t.Fatalf("edge %d oriented differently across runs", e)
+		}
+	}
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatalf("layer counts differ: %d vs %d", len(a.Layers), len(b.Layers))
+	}
+	for i := range a.Layers {
+		if len(a.Layers[i]) != len(b.Layers[i]) {
+			t.Fatalf("layer %d sizes differ", i)
+		}
+	}
+}
+
+func TestSubtablesOrientedAboveThreshold(t *testing.T) {
+	g := partitionedGraph(30000, 25500, 4, 82) // c = 0.85
+	res, orient := SubtablesOriented(g, 2, Options{})
+	if res.Empty() {
+		t.Fatal("above-threshold instance peeled to empty")
+	}
+	if !ValidateOrientation(g, orient, 2) {
+		t.Fatal("partial orientation invalid")
+	}
+	// Core edges stay unoriented.
+	for e := 0; e < g.M; e++ {
+		oriented := orient.FreeVertex[e] != NoVertex
+		if oriented == (res.EdgeAlive[e] != 0) {
+			t.Fatalf("edge %d: oriented=%v but alive=%v", e, oriented, res.EdgeAlive[e] != 0)
+		}
+	}
+}
+
+func TestSubtablesOrientedQuick(t *testing.T) {
+	f := func(seed uint64, mRaw uint16, kRaw uint8) bool {
+		n := 300
+		m := int(mRaw % 350)
+		k := int(kRaw%3) + 2
+		g := hypergraph.Partitioned(n, m, 3, rng.New(seed))
+		res, orient := SubtablesOriented(g, k, Options{})
+		if !ValidateOrientation(g, orient, k) {
+			return false
+		}
+		seq := Sequential(g, k)
+		return res.CoreVertices == seq.CoreVertices && res.CoreEdges == seq.CoreEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSubtablesOriented(b *testing.B) {
+	g := partitionedGraph(1<<18, 180000, 4, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SubtablesOriented(g, 2, Options{})
+	}
+}

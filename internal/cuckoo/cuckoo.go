@@ -1,0 +1,120 @@
+// Package cuckoo provides static r-ary cuckoo hashing placement — each
+// item must occupy one of its r candidate cells, one cell per item — via
+// two strategies whose contrast is one of the paper's motivating
+// applications (Pagh & Rodler; Dietzfelbinger et al.):
+//
+//   - Peeling placement: if the item/cell hypergraph peels to an empty
+//     2-core, the peel orientation (each item assigned to the vertex that
+//     freed its edge) is a valid placement. Runs in linear time and
+//     parallelizes with the paper's round process, but only works below
+//     c*(2,r) (≈ 0.818 for r = 3).
+//   - Random-walk insertion: the classic kick-out loop, which succeeds up
+//     to the (higher) orientability threshold (≈ 0.917 for r = 3) but is
+//     inherently sequential.
+//
+// The gap between the two thresholds is the price of peeling's speed; the
+// ablation tests measure both sides of it.
+package cuckoo
+
+import (
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// NotPlaced marks an item without a cell in a placement vector.
+const NotPlaced = ^uint32(0)
+
+// PlaceByPeeling attempts to place every edge (item) of g into one of its
+// vertices (cells), at most one item per cell, by peeling to the 2-core.
+// It returns the placement (item -> cell) and ok = true iff every item
+// was placed (empty 2-core). On failure the partial placement covers
+// exactly the peeled items.
+func PlaceByPeeling(g *hypergraph.Hypergraph) (placement []uint32, ok bool) {
+	res := core.Sequential(g, 2)
+	return res.FreeVertex, res.Empty()
+}
+
+// PlaceByRandomWalk places items one at a time: each item picks a random
+// candidate cell; if occupied, the occupant is evicted and re-placed the
+// same way, up to maxKicks total evictions per insertion. Returns the
+// placement and ok = false if any insertion exceeded its kick budget.
+func PlaceByRandomWalk(g *hypergraph.Hypergraph, maxKicks int, gen *rng.RNG) (placement []uint32, ok bool) {
+	cellItem := make([]uint32, g.N) // cell -> item, NotPlaced if empty
+	for i := range cellItem {
+		cellItem[i] = NotPlaced
+	}
+	placement = make([]uint32, g.M)
+	for i := range placement {
+		placement[i] = NotPlaced
+	}
+	ok = true
+	for e := 0; e < g.M; e++ {
+		item := uint32(e)
+		kicks := 0
+		for {
+			vs := g.EdgeVertices(int(item))
+			// Take a free candidate if one exists.
+			placed := false
+			for _, v := range vs {
+				if cellItem[v] == NotPlaced {
+					cellItem[v] = item
+					placement[item] = v
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+			if kicks >= maxKicks {
+				ok = false
+				placement[item] = NotPlaced
+				break
+			}
+			// Evict a random candidate's occupant.
+			v := vs[gen.Intn(len(vs))]
+			victim := cellItem[v]
+			cellItem[v] = item
+			placement[item] = v
+			item = victim
+			placement[item] = NotPlaced
+			kicks++
+		}
+	}
+	return placement, ok
+}
+
+// ValidPlacement checks a placement vector: every placed item occupies
+// one of its candidate cells and no cell holds two items. complete
+// requires every item placed.
+func ValidPlacement(g *hypergraph.Hypergraph, placement []uint32, complete bool) bool {
+	if len(placement) != g.M {
+		return false
+	}
+	seen := make(map[uint32]bool, g.M)
+	for e := 0; e < g.M; e++ {
+		cell := placement[e]
+		if cell == NotPlaced {
+			if complete {
+				return false
+			}
+			continue
+		}
+		if seen[cell] {
+			return false
+		}
+		seen[cell] = true
+		found := false
+		for _, v := range g.EdgeVertices(e) {
+			if v == cell {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+// Package erasure implements a Biff-style (Bloom-filter) erasure code
+// (Mitzenmacher & Varghese), one of the peeling applications motivating
+// Jiang, Mitzenmacher, and Thaler (SPAA 2014): each data symbol is XORed
+// into r hashed check cells, so the erased symbols form the edges of a
+// random r-uniform hypergraph over the check cells, and decoding is
+// exactly peeling to the 2-core.
+//
+// Decoding succeeds with high probability as long as
+//
+//	(#erased symbols) < c*(2,r) × (#check cells),
+//
+// e.g. r = 3 tolerates losses up to ~0.818 × cells — the paper's
+// below-threshold regime, where the parallel decoder also finishes in
+// O(log log n) rounds.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Cell is one check symbol: the XOR of the values of the data symbols
+// hashed to it, a XOR of their (index+1) tags, a count, and a checksum
+// that guards pure-cell detection after subtraction.
+type Cell struct {
+	Count    int32
+	IdxSum   uint64 // XOR of (index+1); +1 keeps index 0 representable
+	ValueSum uint64 // XOR of symbol values
+	CheckSum uint64 // XOR of per-symbol checksums
+}
+
+// Code is a (cells, r, seed) configuration. Encoding and decoding must
+// use identical configurations.
+type Code struct {
+	cells int
+	r     int
+	hseed []uint64
+	cseed uint64
+}
+
+// NewCode returns a code with the given number of check cells and r hash
+// positions per data symbol (r in [3, 8]; r = 2's threshold c*(2,2) is
+// degenerate and excluded, as in the paper).
+func NewCode(cells, r int, seed uint64) *Code {
+	if r < 3 || r > 8 {
+		panic(fmt.Sprintf("erasure: r = %d outside [3, 8]", r))
+	}
+	if cells <= 0 {
+		panic("erasure: non-positive cell count")
+	}
+	c := &Code{
+		cells: cells,
+		r:     r,
+		hseed: make([]uint64, r),
+		cseed: rng.Mix64(seed ^ 0x5851f42d4c957f2d),
+	}
+	for j := 0; j < r; j++ {
+		c.hseed[j] = rng.Mix64(seed + uint64(j)*0xbf58476d1ce4e5b9)
+	}
+	return c
+}
+
+// Cells returns the number of check cells.
+func (c *Code) Cells() int { return c.cells }
+
+// positions fills pos with the r distinct cells of symbol index i,
+// resolving hash collisions by linear re-hashing (so the hypergraph is
+// r-uniform with distinct vertices, matching the analysis).
+func (c *Code) positions(i int, pos []int) {
+	for j := 0; j < c.r; j++ {
+		h := rng.Mix64(uint64(i+1) ^ c.hseed[j])
+	retry:
+		p := int((h >> 32) * uint64(c.cells) >> 32)
+		for jj := 0; jj < j; jj++ {
+			if pos[jj] == p {
+				h = rng.Mix64(h)
+				goto retry
+			}
+		}
+		pos[j] = p
+	}
+}
+
+func (c *Code) checksum(i int) uint64 { return rng.Mix64(uint64(i+1) ^ c.cseed) }
+
+// Encode returns the check cells for the data block. The check overhead
+// is Cells()/len(data); tolerable loss is ~c*(2,r)·Cells() symbols.
+func (c *Code) Encode(data []uint64) []Cell {
+	checks := make([]Cell, c.cells)
+	pos := make([]int, c.r)
+	for i, v := range data {
+		cs := c.checksum(i)
+		c.positions(i, pos)
+		for _, p := range pos {
+			checks[p].Count++
+			checks[p].IdxSum ^= uint64(i + 1)
+			checks[p].ValueSum ^= v
+			checks[p].CheckSum ^= cs
+		}
+	}
+	return checks
+}
+
+// ErrDecodeFailed reports that peeling stalled — the erased symbols'
+// hypergraph had a non-empty 2-core (loss rate above the threshold).
+var ErrDecodeFailed = errors.New("erasure: peeling stalled; too many erasures")
+
+// Decode reconstructs the missing entries of data in place. present[i]
+// reports whether data[i] survived the channel; checks is the full check
+// block (assumed intact, as in the Biff code model). On success every
+// entry of data is restored and present is all true. On failure
+// ErrDecodeFailed is returned and any symbols recovered before the stall
+// are filled in (present marks them).
+func (c *Code) Decode(data []uint64, present []bool, checks []Cell) error {
+	if len(data) != len(present) {
+		panic("erasure: data/present length mismatch")
+	}
+	if len(checks) != c.cells {
+		panic("erasure: wrong check block size")
+	}
+	// Subtract every received symbol; what remains is an IBLT of the
+	// missing ones.
+	work := make([]Cell, c.cells)
+	copy(work, checks)
+	pos := make([]int, c.r)
+	missing := 0
+	for i, v := range data {
+		if !present[i] {
+			missing++
+			continue
+		}
+		c.subtract(work, i, v, pos)
+	}
+	if missing == 0 {
+		return nil
+	}
+
+	// Queue-driven peel of pure cells.
+	queue := make([]int, 0, 256)
+	for p := range work {
+		if c.pure(&work[p]) {
+			queue = append(queue, p)
+		}
+	}
+	recovered := 0
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		if !c.pure(&work[p]) {
+			continue
+		}
+		idx := int(work[p].IdxSum - 1)
+		val := work[p].ValueSum
+		data[idx] = val
+		present[idx] = true
+		recovered++
+		c.subtract(work, idx, val, pos)
+		for _, q := range pos {
+			if c.pure(&work[q]) {
+				queue = append(queue, q)
+			}
+		}
+	}
+	if recovered != missing {
+		return fmt.Errorf("%w (recovered %d of %d)", ErrDecodeFailed, recovered, missing)
+	}
+	return nil
+}
+
+// pure reports whether cell holds exactly one missing symbol with a
+// consistent checksum and a valid index tag.
+func (c *Code) pure(cell *Cell) bool {
+	if cell.Count != 1 || cell.IdxSum == 0 {
+		return false
+	}
+	return c.checksum(int(cell.IdxSum-1)) == cell.CheckSum
+}
+
+func (c *Code) subtract(work []Cell, i int, v uint64, pos []int) {
+	cs := c.checksum(i)
+	c.positions(i, pos)
+	for _, p := range pos {
+		work[p].Count--
+		work[p].IdxSum ^= uint64(i + 1)
+		work[p].ValueSum ^= v
+		work[p].CheckSum ^= cs
+	}
+}
+
+// MaxTolerableLoss returns the approximate number of erasures the code
+// survives w.h.p.: c*(2,r) × cells, with cstar supplied by the caller
+// (see internal/threshold) to keep this package dependency-light.
+func (c *Code) MaxTolerableLoss(cstar float64) int {
+	return int(cstar * float64(c.cells))
+}

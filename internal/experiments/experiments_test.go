@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Small(t *testing.T) {
+	cfg := Table1Config{
+		K: 2, R: 4,
+		Cs:     []float64{0.70, 0.85},
+		Ns:     []int{8000, 64000},
+		Trials: 10,
+		Seed:   7,
+	}
+	res := RunTable1(cfg)
+	if len(res.Rows) != 2 || len(res.Rows[0].Cells) != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	for _, row := range res.Rows {
+		// Below threshold: all trials succeed. Above: all fail.
+		if f := row.Cells[0].Failed; f != 0 {
+			t.Errorf("n=%d c=0.70: %d failures, want 0", row.N, f)
+		}
+		if f := row.Cells[1].Failed; f != cfg.Trials {
+			t.Errorf("n=%d c=0.85: %d failures, want %d", row.N, f, cfg.Trials)
+		}
+		if row.Cells[0].MeanRounds < 8 || row.Cells[0].MeanRounds > 16 {
+			t.Errorf("n=%d c=0.70: mean rounds %.2f implausible", row.N, row.Cells[0].MeanRounds)
+		}
+	}
+	// Above-threshold rounds grow with n (Table 1 shows ~+3.3 over 8x n
+	// in this range); below-threshold they stay essentially flat.
+	growthAbove := res.Rows[1].Cells[1].MeanRounds - res.Rows[0].Cells[1].MeanRounds
+	if growthAbove < 1 {
+		t.Errorf("above-threshold growth %.2f rounds over 8x n, want >= 1", growthAbove)
+	}
+	growthBelow := math.Abs(res.Rows[1].Cells[0].MeanRounds - res.Rows[0].Cells[0].MeanRounds)
+	if growthBelow > 1.5 {
+		t.Errorf("below-threshold growth %.2f rounds over 8x n, want ~0", growthBelow)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "c=0.70") || !strings.Contains(buf.String(), "4000") {
+		t.Error("render missing expected content")
+	}
+}
+
+func TestTable1GrowthFit(t *testing.T) {
+	cfg := Table1Config{
+		K: 2, R: 4,
+		Cs:     []float64{0.85},
+		Ns:     []int{4000, 8000, 16000, 32000},
+		Trials: 8,
+		Seed:   11,
+	}
+	res := RunTable1(cfg)
+	// Above threshold the log n slope is positive and meaningful.
+	slope := res.GrowthFit(0, true)
+	if slope <= 0.3 {
+		t.Errorf("above-threshold log n slope = %.3f, want clearly positive", slope)
+	}
+}
+
+func TestRunTable2Small(t *testing.T) {
+	cfg := Table2Config{K: 2, R: 4, N: 100000, Cs: []float64{0.70, 0.85}, Rounds: 14, Trials: 3, Seed: 13}
+	res := RunTable2(cfg)
+	if len(res.Series) != 2 {
+		t.Fatalf("series count %d", len(res.Series))
+	}
+	for si, s := range res.Series {
+		// Prediction and experiment agree within sampling noise: the
+		// fluctuation scale is O(sqrt(n)·polylog) (martingale bound), so
+		// allow 1% relative plus a 10·sqrt(n) absolute floor. (The paper's
+		// n = 1e6 runs agree to ~1e-4 relatively; this scaled-down n has
+		// proportionally larger tails.)
+		for i := range s.Prediction {
+			tol := 0.01*s.Prediction[i] + 10*math.Sqrt(float64(cfg.N))
+			if math.Abs(s.Prediction[i]-s.Experiment[i]) > tol {
+				t.Errorf("series %d round %d: prediction %.0f vs experiment %.0f (tol %.0f)",
+					si, i+1, s.Prediction[i], s.Experiment[i], tol)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Prediction") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunTable5Small(t *testing.T) {
+	cfg := Table5Config{
+		K: 2, R: 4,
+		Cs:     []float64{0.70},
+		Ns:     []int{8000, 32000},
+		Trials: 8,
+		Seed:   17,
+	}
+	res := RunTable5(cfg)
+	for _, row := range res.Rows {
+		if row.Cells[0].Failed != 0 {
+			t.Errorf("n=%d: %d failures below threshold", row.N, row.Cells[0].Failed)
+		}
+		// Table 5 band: ~26-27 subrounds at c = 0.7 for moderate n.
+		if row.Cells[0].MeanSubrounds < 20 || row.Cells[0].MeanSubrounds > 32 {
+			t.Errorf("n=%d: mean subrounds %.2f implausible", row.N, row.Cells[0].MeanSubrounds)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Subrounds") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunTable6Small(t *testing.T) {
+	cfg := Table6Config{K: 2, R: 4, N: 100000, C: 0.70, Rounds: 7, Trials: 3, Seed: 19}
+	res := RunTable6(cfg)
+	if len(res.Rows) != 28 {
+		t.Fatalf("rows %d, want 28", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		tol := 0.01*row.Prediction + 10*math.Sqrt(float64(cfg.N))
+		if math.Abs(row.Prediction-row.Experiment) > tol {
+			t.Errorf("(%d,%d): prediction %.0f vs experiment %.0f (tol %.0f)",
+				row.Round, row.Subtable, row.Prediction, row.Experiment, tol)
+		}
+	}
+}
+
+func TestRunIBLTSmall(t *testing.T) {
+	cfg := IBLTConfig{R: 3, Cells: 1 << 14, Loads: []float64{0.75, 0.83}, Trials: 2, Seed: 23}
+	res := RunIBLT(cfg)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Load 0.75 < 0.818: full recovery. Load 0.83 > 0.818: partial, and
+	// the paper's Table 3 reports ~50% for r=3.
+	if res.Rows[0].PctRecovered < 0.999 {
+		t.Errorf("load 0.75: recovered %.3f, want 1.0", res.Rows[0].PctRecovered)
+	}
+	if res.Rows[1].PctRecovered > 0.95 || res.Rows[1].PctRecovered < 0.05 {
+		t.Errorf("load 0.83: recovered %.3f, want partial", res.Rows[1].PctRecovered)
+	}
+	for _, row := range res.Rows {
+		if row.ParInsertTime <= 0 || row.SerInsertTime <= 0 ||
+			row.ParRecoveryTime <= 0 || row.SerRecoveryTime <= 0 {
+			t.Errorf("non-positive timing in row %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Recovered") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	res := RunFigure1(DefaultFigure1())
+	if len(res.Series) != 2 {
+		t.Fatalf("series %d", len(res.Series))
+	}
+	// The closer density has the longer plateau near x*.
+	p0 := res.PlateauLength(0, 0.1)
+	p1 := res.PlateauLength(1, 0.1)
+	if p1 <= p0 {
+		t.Errorf("plateau(0.772)=%d should exceed plateau(0.77)=%d", p1, p0)
+	}
+	// Both traces must eventually collapse below the cut-off.
+	for _, s := range res.Series {
+		last := s.Betas[len(s.Betas)-1]
+		if last > 1e-6 {
+			t.Errorf("c=%v: trace did not collapse (last β = %g)", s.C, last)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "beta(c=0.772)") {
+		t.Error("render missing series header")
+	}
+}
+
+func TestRunNuSweep(t *testing.T) {
+	res := RunNuSweep(DefaultNuSweep())
+	// Rounds increase as ν shrinks.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Rounds <= res.Rows[i-1].Rounds {
+			t.Errorf("rounds not increasing: %+v -> %+v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+	// Theorem 5: slope of log rounds vs log(1/ν) approaches 1/2. With the
+	// additive log log n term the finite-ν fit lands a bit below.
+	if res.FitSlope < 0.3 || res.FitSlope > 0.6 {
+		t.Errorf("fit slope %.3f, want in [0.3, 0.6] (→0.5 as ν→0)", res.FitSlope)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "sqrt(1/nu)") {
+		t.Error("render missing header")
+	}
+}
+
+func TestThresholdTable(t *testing.T) {
+	rows := ThresholdTable([]int{2, 3}, []int{2, 3, 4})
+	// k=2,r=2 excluded -> 5 rows.
+	if len(rows) != 5 {
+		t.Fatalf("rows %d, want 5", len(rows))
+	}
+	for _, row := range rows {
+		if row.CStar <= 0 || row.XStar <= 0 {
+			t.Errorf("non-positive threshold row %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	RenderThresholdTable(&buf, rows)
+	if !strings.Contains(buf.String(), "c*(k,r)") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/recurrence"
+	"repro/internal/stats"
+	"repro/internal/threshold"
+)
+
+// Figure1Config parameterizes the Figure 1 reproduction: the idealized
+// β_i trajectory (Equation (C.1)) at densities just below the threshold,
+// showing the Θ(√(1/ν)) plateau near x*.
+type Figure1Config struct {
+	K, R      int
+	Cs        []float64 // paper: 0.77 and 0.772 (c*_{2,4} ≈ 0.77228)
+	MaxRounds int
+	StopBelow float64 // trace cut-off once β falls below this (0 = run full MaxRounds)
+}
+
+// DefaultFigure1 returns the paper's configuration.
+func DefaultFigure1() Figure1Config {
+	return Figure1Config{K: 2, R: 4, Cs: []float64{0.77, 0.772}, MaxRounds: 400, StopBelow: 1e-6}
+}
+
+// Figure1Series is one density's β trace.
+type Figure1Series struct {
+	C     float64
+	Betas []float64
+}
+
+// Figure1Result carries the traces plus the threshold for reference.
+type Figure1Result struct {
+	Config Figure1Config
+	CStar  float64
+	XStar  float64
+	Series []Figure1Series
+}
+
+// RunFigure1 computes the traces.
+func RunFigure1(cfg Figure1Config) *Figure1Result {
+	cstar, xstar := threshold.Threshold(cfg.K, cfg.R)
+	res := &Figure1Result{Config: cfg, CStar: cstar, XStar: xstar}
+	for _, c := range cfg.Cs {
+		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
+		full := p.BetaTrace(cfg.MaxRounds)
+		if cfg.StopBelow > 0 {
+			for i, b := range full {
+				if b < cfg.StopBelow {
+					full = full[:i+1]
+					break
+				}
+			}
+		}
+		res.Series = append(res.Series, Figure1Series{C: c, Betas: full})
+	}
+	return res
+}
+
+// PlateauLength returns the number of rounds series si spends with β
+// within delta of x*, the visual plateau in Figure 1.
+func (f *Figure1Result) PlateauLength(si int, delta float64) int {
+	count := 0
+	for _, b := range f.Series[si].Betas {
+		if math.Abs(b-f.XStar) < delta {
+			count++
+		}
+	}
+	return count
+}
+
+// Render writes the traces as aligned columns (round, one β column per
+// density), ready for plotting.
+func (f *Figure1Result) Render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# c* = %.5f, x* = %.5f\n", f.CStar, f.XStar)
+	fmt.Fprintf(tw, "round")
+	for _, s := range f.Series {
+		fmt.Fprintf(tw, "\tbeta(c=%.4g)", s.C)
+	}
+	fmt.Fprintln(tw)
+	maxLen := 0
+	for _, s := range f.Series {
+		if len(s.Betas) > maxLen {
+			maxLen = len(s.Betas)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(tw, "%d", i+1)
+		for _, s := range f.Series {
+			if i < len(s.Betas) {
+				fmt.Fprintf(tw, "\t%.6g", s.Betas[i])
+			} else {
+				fmt.Fprintf(tw, "\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// NuSweepConfig parameterizes the Theorem 5 check: rounds to collapse as
+// a function of the gap ν = c* − c, which should scale as Θ(√(1/ν)) plus
+// the log log n term.
+type NuSweepConfig struct {
+	K, R      int
+	Nus       []float64
+	N         float64 // instance size for the PredictRounds term
+	MaxRounds int
+}
+
+// DefaultNuSweep returns a geometric ν sweep spanning two decades.
+func DefaultNuSweep() NuSweepConfig {
+	return NuSweepConfig{
+		K: 2, R: 4,
+		Nus:       []float64{0.04, 0.02, 0.01, 0.005, 0.0025, 0.00125, 0.000625},
+		N:         1e6,
+		MaxRounds: 1 << 20,
+	}
+}
+
+// NuSweepRow is one gap sample.
+type NuSweepRow struct {
+	Nu     float64
+	C      float64
+	Rounds int // idealized rounds until expected survivors < 1/2 at size N
+}
+
+// NuSweepResult carries the sweep and its power-law fit.
+type NuSweepResult struct {
+	Config NuSweepConfig
+	CStar  float64
+	Rows   []NuSweepRow
+	// FitSlope is the slope of log(rounds) vs log(1/ν); Theorem 5
+	// predicts it approaches 1/2 as ν -> 0.
+	FitSlope float64
+}
+
+// RunNuSweep computes the idealized round counts across the gap sweep.
+func RunNuSweep(cfg NuSweepConfig) *NuSweepResult {
+	cstar, _ := threshold.Threshold(cfg.K, cfg.R)
+	res := &NuSweepResult{Config: cfg, CStar: cstar}
+	var lx, ly []float64
+	for _, nu := range cfg.Nus {
+		c := cstar - nu
+		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
+		rounds, ok := p.PredictRounds(cfg.N, cfg.MaxRounds)
+		if !ok {
+			rounds = cfg.MaxRounds
+		}
+		res.Rows = append(res.Rows, NuSweepRow{Nu: nu, C: c, Rounds: rounds})
+		lx = append(lx, math.Log(1/nu))
+		ly = append(ly, math.Log(float64(rounds)))
+	}
+	res.FitSlope, _ = stats.LinearFit(lx, ly)
+	return res
+}
+
+// Render writes the ν sweep.
+func (r *NuSweepResult) Render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "# c* = %.5f; log-log fit slope = %.3f (Theorem 5 predicts -> 0.5)\n", r.CStar, r.FitSlope)
+	fmt.Fprintf(tw, "nu\tc\trounds\tsqrt(1/nu)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.6g\t%.6f\t%d\t%.1f\n", row.Nu, row.C, row.Rounds, math.Sqrt(1/row.Nu))
+	}
+	tw.Flush()
+}
+
+// ThresholdTableRow is one (k, r) threshold entry.
+type ThresholdTableRow struct {
+	K, R  int
+	CStar float64
+	XStar float64
+}
+
+// ThresholdTable computes c*(k,r) over a (k, r) grid (the Section 2
+// reference values).
+func ThresholdTable(ks, rs []int) []ThresholdTableRow {
+	var rows []ThresholdTableRow
+	for _, k := range ks {
+		for _, r := range rs {
+			if k == 2 && r == 2 {
+				continue // excluded case
+			}
+			cs, xs := threshold.Threshold(k, r)
+			rows = append(rows, ThresholdTableRow{K: k, R: r, CStar: cs, XStar: xs})
+		}
+	}
+	return rows
+}
+
+// RenderThresholdTable writes the grid.
+func RenderThresholdTable(w io.Writer, rows []ThresholdTableRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "k\tr\tc*(k,r)\tx*\n")
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.6f\t%.6f\n", row.K, row.R, row.CStar, row.XStar)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEmpiricalNu(t *testing.T) {
+	cfg := EmpiricalNuConfig{
+		K: 2, R: 4, N: 1 << 17,
+		Nus:    []float64{0.05, 0.02},
+		Trials: 3,
+		Seed:   31,
+	}
+	res := RunEmpiricalNu(cfg)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Rounds increase as the gap shrinks, and the measured mean should be
+	// near the idealized prediction (within a few rounds).
+	if res.Rows[1].MeanRounds <= res.Rows[0].MeanRounds {
+		t.Errorf("rounds did not increase as nu shrank: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.Failed != 0 {
+			t.Errorf("nu=%v: %d failures below threshold", row.Nu, row.Failed)
+		}
+		diff := row.MeanRounds - float64(row.Predicted)
+		if diff < -3 || diff > 3 {
+			t.Errorf("nu=%v: measured %.2f vs predicted %d", row.Nu, row.MeanRounds, row.Predicted)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "measured rounds") {
+		t.Error("render missing header")
+	}
+}
+
+func TestRunModelValidation(t *testing.T) {
+	cfg := ModelValidationConfig{
+		K: 2, R: 4, C: 0.7, Rounds: 5, TreeTrials: 15000, N: 1 << 17, Seed: 33,
+	}
+	rows := RunModelValidation(cfg)
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// All three estimates of λ_t agree within Monte Carlo noise
+	// (tree MC standard error ~ 1/sqrt(trials) ≈ 0.008).
+	if gap := MaxPairwiseGap(rows); gap > 0.02 {
+		t.Errorf("max pairwise model gap %.4f, want <= 0.02", gap)
+	}
+	var buf bytes.Buffer
+	RenderModelValidation(&buf, rows)
+	if !strings.Contains(buf.String(), "tree MC") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,109 @@
+// Package fib provides generalized (order-d) Fibonacci sequences and their
+// asymptotic growth rates φ_d, the constants that govern the subtable
+// peeling bound of Theorems 4 and 7 in Jiang, Mitzenmacher, and Thaler
+// (SPAA 2014). There, peeling with r subtables converges with the exponent
+// falling along an order-(r−1) Fibonacci sequence, so the process needs
+// only r/(r·log φ_{r−1} + log(k−1)) · log log n + O(1) subrounds — a factor
+// ≈ log₂(r−1) more subrounds than plain peeling needs rounds, not the naive
+// factor of r.
+package fib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sequence returns the first n elements of the order-d Fibonacci sequence
+// used in Appendix B of the paper: the first d elements are 1, and each
+// subsequent element is the sum of the preceding d elements. Values are
+// float64 because only growth rates matter downstream; they stay exact up
+// to 2^53. It panics if d < 1 or n < 0.
+func Sequence(d, n int) []float64 {
+	if d < 1 {
+		panic(fmt.Sprintf("fib: order %d < 1", d))
+	}
+	if n < 0 {
+		panic("fib: negative length")
+	}
+	seq := make([]float64, n)
+	for i := 0; i < n && i < d; i++ {
+		seq[i] = 1
+	}
+	for i := d; i < n; i++ {
+		s := 0.0
+		for j := i - d; j < i; j++ {
+			s += seq[j]
+		}
+		seq[i] = s
+	}
+	return seq
+}
+
+// GrowthRate returns φ_d = lim F_d(i+1)/F_d(i), the unique root in (1, 2)
+// of x^d = x^{d-1} + x^{d-2} + ... + 1 for d >= 2. For d = 1 the sequence
+// is constant and the rate is 1. φ_2 is the golden ratio ≈ 1.618; φ_d
+// approaches 2 from below as d grows (φ_3 ≈ 1.839, φ_4 ≈ 1.928).
+func GrowthRate(d int) float64 {
+	if d < 1 {
+		panic(fmt.Sprintf("fib: order %d < 1", d))
+	}
+	if d == 1 {
+		return 1
+	}
+	// Root of p(x) = x^d - (x^{d-1} + ... + 1) on (1, 2): p(1) = 1-d < 0
+	// and p(2) = 1 > 0, so bisection converges to the dominant root.
+	p := func(x float64) float64 {
+		v := math.Pow(x, float64(d))
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += math.Pow(x, float64(j))
+		}
+		return v - s
+	}
+	lo, hi := 1.0, 2.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if p(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func validateSubtable(k, r int) {
+	if r < 3 {
+		panic("fib: subtable bounds require r >= 3")
+	}
+	if k < 2 {
+		panic("fib: subtable bounds require k >= 2")
+	}
+}
+
+// RoundLeadConstant returns the Theorem 7 constant multiplying log log n
+// when the subtable process is measured in full rounds (each consisting of
+// r subrounds): 1 / (r·log φ_{r−1} + log(k−1)).
+func RoundLeadConstant(k, r int) float64 {
+	validateSubtable(k, r)
+	return 1 / (float64(r)*math.Log(GrowthRate(r-1)) + math.Log(float64(k-1)))
+}
+
+// SubroundLeadConstant returns the Theorem 4 constant multiplying
+// log log n when the subtable process is measured in subrounds:
+// r / (r·log φ_{r−1} + log(k−1)). For k = 2 this reduces to 1/log φ_{r−1},
+// the form the paper compares against 1/log(r−1) for plain peeling.
+func SubroundLeadConstant(k, r int) float64 {
+	return float64(r) * RoundLeadConstant(k, r)
+}
+
+// SubroundOverheadFactor returns log(r−1)/log(φ_{r−1}), the paper's
+// headline comparison for k = 2: peeling with subtables costs this factor
+// more subrounds than plain peeling costs rounds (≈ 1.456 for r = 3, and
+// approaching log₂(r−1) as r grows) — far below the naive factor of r.
+func SubroundOverheadFactor(r int) float64 {
+	if r < 3 {
+		panic("fib: subtable bounds require r >= 3")
+	}
+	return math.Log(float64(r-1)) / math.Log(GrowthRate(r-1))
+}

@@ -1,0 +1,136 @@
+package fib
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSequenceOrder2(t *testing.T) {
+	got := Sequence(2, 10)
+	want := []float64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("F_2(%d) = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequenceOrder3(t *testing.T) {
+	got := Sequence(3, 9)
+	want := []float64{1, 1, 1, 3, 5, 9, 17, 31, 57}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("F_3(%d) = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequenceEdges(t *testing.T) {
+	if got := Sequence(5, 0); len(got) != 0 {
+		t.Errorf("empty sequence has length %d", len(got))
+	}
+	if got := Sequence(4, 2); got[0] != 1 || got[1] != 1 {
+		t.Errorf("short sequence = %v", got)
+	}
+}
+
+func TestGrowthRatePaperValues(t *testing.T) {
+	// Appendix B: φ_2 is the golden ratio; φ_3 ~ 1.83(9), φ_4 ~ 1.92(8).
+	if got := GrowthRate(2); math.Abs(got-(1+math.Sqrt(5))/2) > 1e-10 {
+		t.Errorf("φ_2 = %.10f, want golden ratio", got)
+	}
+	if got := GrowthRate(3); math.Abs(got-1.8393) > 1e-3 {
+		t.Errorf("φ_3 = %.4f, want ~1.8393", got)
+	}
+	if got := GrowthRate(4); math.Abs(got-1.9276) > 1e-3 {
+		t.Errorf("φ_4 = %.4f, want ~1.9276", got)
+	}
+	if got := GrowthRate(1); got != 1 {
+		t.Errorf("φ_1 = %v, want 1", got)
+	}
+}
+
+func TestGrowthRateMatchesSequenceRatio(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		seq := Sequence(d, 60)
+		ratio := seq[59] / seq[58]
+		if math.Abs(ratio-GrowthRate(d)) > 1e-6 {
+			t.Errorf("order %d: empirical ratio %.8f vs root %.8f", d, ratio, GrowthRate(d))
+		}
+	}
+}
+
+func TestGrowthRateApproachesTwo(t *testing.T) {
+	prev := 0.0
+	for d := 2; d <= 12; d++ {
+		phi := GrowthRate(d)
+		if phi <= prev || phi >= 2 {
+			t.Errorf("φ_%d = %v not in (φ_%d, 2)", d, phi, d-1)
+		}
+		prev = phi
+	}
+}
+
+func TestSubroundOverheadFactor(t *testing.T) {
+	// Appendix B discussion: for r=3, k=2 the overhead is well below 1.5
+	// (the paper quotes ~1.456 using φ ≈ 1.61; with the exact golden ratio
+	// it is log 2 / log φ_2 ≈ 1.4404) — versus the naive factor r = 3.
+	got := SubroundOverheadFactor(3)
+	want := math.Log(2) / math.Log((1+math.Sqrt(5))/2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("overhead(3) = %v, want %v", got, want)
+	}
+	if got >= 1.5 || got <= 1.4 {
+		t.Errorf("overhead(3) = %v, want in (1.4, 1.5)", got)
+	}
+	// Large r: approaches log2(r-1).
+	for _, r := range []int{8, 16, 32} {
+		f := SubroundOverheadFactor(r)
+		l2 := math.Log2(float64(r - 1))
+		if math.Abs(f-l2)/l2 > 0.12 {
+			t.Errorf("overhead(%d) = %v, want near log2(r-1) = %v", r, f, l2)
+		}
+		if f >= float64(r) {
+			t.Errorf("overhead(%d) = %v, must beat naive factor r", r, f)
+		}
+	}
+}
+
+func TestLeadConstants(t *testing.T) {
+	// k=2: subround lead constant reduces to 1/log φ_{r-1}.
+	for _, r := range []int{3, 4, 5} {
+		got := SubroundLeadConstant(2, r)
+		want := 1 / math.Log(GrowthRate(r-1))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("SubroundLeadConstant(2,%d) = %v, want %v", r, got, want)
+		}
+		if rl := RoundLeadConstant(2, r); math.Abs(rl*float64(r)-got) > 1e-9 {
+			t.Errorf("round/subround constants inconsistent for r=%d", r)
+		}
+	}
+	// k=3, r=4 sanity: strictly smaller than the k=2 constant (more
+	// aggressive decay with higher k).
+	if SubroundLeadConstant(3, 4) >= SubroundLeadConstant(2, 4) {
+		t.Error("lead constant should decrease with k")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Sequence order 0":   func() { Sequence(0, 5) },
+		"Sequence negative":  func() { Sequence(2, -1) },
+		"GrowthRate order 0": func() { GrowthRate(0) },
+		"Overhead r=2":       func() { SubroundOverheadFactor(2) },
+		"RoundLead r=2":      func() { RoundLeadConstant(2, 2) },
+		"RoundLead k=1":      func() { RoundLeadConstant(1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

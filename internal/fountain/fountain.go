@@ -1,0 +1,236 @@
+// Package fountain implements an LT (Luby Transform) fountain code — the
+// rateless member of the peeling-decoded code family the paper cites
+// ([14] Luby, Mitzenmacher, Shokrollahi, Spielman; [17] Biff codes). The
+// encoder emits an unbounded stream of encoded symbols, each the XOR of a
+// randomly chosen set of message symbols with degree drawn from the
+// robust soliton distribution; the decoder is a peeling process that
+// repeatedly "releases" encoded symbols with exactly one unresolved
+// neighbor.
+//
+// Unlike the fixed-arity hypergraphs of the main paper, LT edges have
+// variable arity, so this package carries its own peeling decoder: it is
+// the same release rule (degree-1 peeling) on a variable-arity bipartite
+// graph, and any fixed number of message symbols is recovered from
+// (1 + ε)·k encoded symbols w.h.p. for small ε.
+package fountain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Symbol is one encoded symbol: the XOR of the message symbols listed in
+// Neighbors, tagged with the seed that regenerates the neighbor set (so
+// real deployments would transmit only Seed and Value).
+type Symbol struct {
+	Seed  uint64
+	Value uint64
+	// neighbors are recomputed by the decoder from Seed; kept unexported
+	// to keep the wire struct honest.
+}
+
+// Encoder produces encoded symbols for a fixed message.
+type Encoder struct {
+	message []uint64
+	dist    *solitonTable
+	seedGen *rng.RNG
+}
+
+// Params tune the robust soliton distribution. The defaults follow Luby:
+// C ≈ 0.1, delta ≈ 0.5 work well for k in the thousands.
+type Params struct {
+	C     float64 // robust soliton constant (default 0.1)
+	Delta float64 // decoder failure bound (default 0.5)
+}
+
+// DefaultParams returns Luby's usual constants.
+func DefaultParams() Params { return Params{C: 0.1, Delta: 0.5} }
+
+// solitonTable is a sampled-by-inversion robust soliton distribution.
+type solitonTable struct {
+	cdf []float64 // cdf[d-1] = Pr(degree <= d)
+	k   int
+}
+
+// newSolitonTable builds the robust soliton distribution μ for k message
+// symbols: the ideal soliton ρ(1) = 1/k, ρ(d) = 1/(d(d−1)), boosted by
+// τ(d) = R/(d·k) for d < k/R and τ(k/R) = R·ln(R/δ)/k with
+// R = C·ln(k/δ)·√k, then normalized.
+func newSolitonTable(k int, p Params) *solitonTable {
+	if p.C <= 0 {
+		p.C = 0.1
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		p.Delta = 0.5
+	}
+	R := p.C * math.Log(float64(k)/p.Delta) * math.Sqrt(float64(k))
+	if R < 1 {
+		R = 1
+	}
+	spike := int(math.Ceil(float64(k) / R))
+	if spike > k {
+		spike = k
+	}
+	pmf := make([]float64, k+1) // index = degree
+	pmf[1] = 1 / float64(k)
+	for d := 2; d <= k; d++ {
+		pmf[d] = 1 / (float64(d) * float64(d-1))
+	}
+	for d := 1; d < spike; d++ {
+		pmf[d] += R / (float64(d) * float64(k))
+	}
+	if spike >= 1 && spike <= k {
+		pmf[spike] += R * math.Log(R/p.Delta) / float64(k)
+	}
+	total := 0.0
+	for d := 1; d <= k; d++ {
+		total += pmf[d]
+	}
+	cdf := make([]float64, k)
+	acc := 0.0
+	for d := 1; d <= k; d++ {
+		acc += pmf[d] / total
+		cdf[d-1] = acc
+	}
+	cdf[k-1] = 1
+	return &solitonTable{cdf: cdf, k: k}
+}
+
+// sample draws a degree by binary-searching the CDF.
+func (s *solitonTable) sample(u float64) int {
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// NewEncoder returns an encoder for the message (at least 4 symbols).
+func NewEncoder(message []uint64, p Params, seed uint64) (*Encoder, error) {
+	if len(message) < 4 {
+		return nil, fmt.Errorf("fountain: message too short (%d symbols)", len(message))
+	}
+	return &Encoder{
+		message: message,
+		dist:    newSolitonTable(len(message), p),
+		seedGen: rng.New(seed),
+	}, nil
+}
+
+// neighborsFromSeed regenerates a symbol's neighbor set from its seed:
+// degree from the soliton table, then that many distinct message indices.
+func neighborsFromSeed(symSeed uint64, k int, dist *solitonTable, buf []uint32) []uint32 {
+	gen := rng.New(symSeed)
+	d := dist.sample(gen.Float64())
+	if d > k {
+		d = k
+	}
+	buf = buf[:0]
+	if cap(buf) < d {
+		buf = make([]uint32, 0, d)
+	}
+	tuple := make([]uint32, d)
+	gen.SampleDistinct(tuple, uint32(k))
+	return append(buf, tuple...)
+}
+
+// Next emits the next encoded symbol.
+func (e *Encoder) Next() Symbol {
+	symSeed := e.seedGen.Uint64()
+	nbrs := neighborsFromSeed(symSeed, len(e.message), e.dist, nil)
+	var v uint64
+	for _, i := range nbrs {
+		v ^= e.message[i]
+	}
+	return Symbol{Seed: symSeed, Value: v}
+}
+
+// Emit returns the next n encoded symbols.
+func (e *Encoder) Emit(n int) []Symbol {
+	out := make([]Symbol, n)
+	for i := range out {
+		out[i] = e.Next()
+	}
+	return out
+}
+
+// ErrDecodeFailed reports that peeling stalled before recovering the full
+// message: more encoded symbols are needed (the rateless remedy).
+var ErrDecodeFailed = errors.New("fountain: decoding stalled; need more symbols")
+
+// Decode recovers a k-symbol message from received encoded symbols using
+// the LT peeling ("release") process: an encoded symbol with exactly one
+// unresolved neighbor resolves it; resolving a message symbol XORs it
+// out of every encoded symbol that references it, possibly releasing
+// more. Returns the message, the number recovered (== k on success), and
+// nil or ErrDecodeFailed.
+func Decode(k int, symbols []Symbol, p Params) ([]uint64, int, error) {
+	dist := newSolitonTable(k, p)
+	message := make([]uint64, k)
+	known := make([]bool, k)
+
+	// Build the bipartite structure: per encoded symbol, residual value
+	// and unresolved-neighbor count; per message symbol, the encoded
+	// symbols referencing it.
+	type enc struct {
+		value  uint64
+		degree int32
+		last   uint32 // XOR-trick: XOR of unresolved neighbor indices
+	}
+	encs := make([]enc, len(symbols))
+	incident := make([][]uint32, k)
+	var buf []uint32
+	for si := range symbols {
+		buf = neighborsFromSeed(symbols[si].Seed, k, dist, buf)
+		encs[si].value = symbols[si].Value
+		encs[si].degree = int32(len(buf))
+		for _, mi := range buf {
+			encs[si].last ^= mi
+			incident[mi] = append(incident[mi], uint32(si))
+		}
+	}
+
+	// Release queue: encoded symbols of current degree 1. The XOR trick
+	// (`last` holds the XOR of unresolved neighbor ids) names the single
+	// unresolved neighbor without storing neighbor lists per symbol.
+	queue := make([]uint32, 0, len(symbols))
+	for si := range encs {
+		if encs[si].degree == 1 {
+			queue = append(queue, uint32(si))
+		}
+	}
+	recovered := 0
+	for head := 0; head < len(queue) && recovered < k; head++ {
+		si := queue[head]
+		if encs[si].degree != 1 {
+			continue
+		}
+		mi := encs[si].last
+		if known[mi] {
+			continue
+		}
+		message[mi] = encs[si].value
+		known[mi] = true
+		recovered++
+		for _, sj := range incident[mi] {
+			encs[sj].value ^= message[mi]
+			encs[sj].degree--
+			encs[sj].last ^= mi
+			if encs[sj].degree == 1 {
+				queue = append(queue, sj)
+			}
+		}
+	}
+	if recovered < k {
+		return message, recovered, ErrDecodeFailed
+	}
+	return message, recovered, nil
+}

@@ -1,0 +1,204 @@
+package fountain
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func message(k int, seed uint64) []uint64 {
+	gen := rng.New(seed)
+	msg := make([]uint64, k)
+	for i := range msg {
+		msg[i] = gen.Uint64()
+	}
+	return msg
+}
+
+func TestRoundTripModestOverhead(t *testing.T) {
+	const k = 2000
+	msg := message(k, 1)
+	enc, err := NewEncoder(msg, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15% overhead decodes w.h.p. for k = 2000 with robust soliton.
+	symbols := enc.Emit(int(1.15 * k))
+	got, recovered, err := Decode(k, symbols, DefaultParams())
+	if err != nil {
+		t.Fatalf("decode failed with %d/%d recovered", recovered, k)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("symbol %d wrong", i)
+		}
+	}
+}
+
+func TestRatelessProperty(t *testing.T) {
+	// The defining fountain property: if a batch fails, extending the
+	// SAME stream with more symbols eventually succeeds.
+	const k = 1000
+	msg := message(k, 2)
+	enc, err := NewEncoder(msg, DefaultParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := enc.Emit(k) // zero overhead: likely to stall
+	for attempts := 0; attempts < 10; attempts++ {
+		got, _, err := Decode(k, symbols, DefaultParams())
+		if err == nil {
+			for i := range msg {
+				if got[i] != msg[i] {
+					t.Fatal("wrong symbol after extension")
+				}
+			}
+			return
+		}
+		symbols = append(symbols, enc.Emit(k/20)...) // +5% and retry
+	}
+	t.Fatal("decoding never succeeded even at 1.5x overhead")
+}
+
+func TestDecodeFailsWithTooFewSymbols(t *testing.T) {
+	const k = 1000
+	msg := message(k, 3)
+	enc, _ := NewEncoder(msg, DefaultParams(), 11)
+	symbols := enc.Emit(k / 2) // information-theoretically impossible
+	_, recovered, err := Decode(k, symbols, DefaultParams())
+	if !errors.Is(err, ErrDecodeFailed) {
+		t.Fatalf("err = %v, want ErrDecodeFailed", err)
+	}
+	if recovered >= k {
+		t.Fatal("recovered everything from half the information")
+	}
+}
+
+func TestSymbolLossResilience(t *testing.T) {
+	// Fountain codes don't care WHICH symbols arrive. Drop a random 20%
+	// of a 1.45x stream and decode from the survivors.
+	const k = 1500
+	msg := message(k, 4)
+	enc, _ := NewEncoder(msg, DefaultParams(), 13)
+	all := enc.Emit(int(1.45 * k))
+	gen := rng.New(99)
+	kept := make([]Symbol, 0, len(all))
+	for _, s := range all {
+		if gen.Float64() > 0.2 {
+			kept = append(kept, s)
+		}
+	}
+	got, recovered, err := Decode(k, kept, DefaultParams())
+	if err != nil {
+		t.Fatalf("decode after loss failed: %d/%d", recovered, k)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("wrong symbol after loss")
+		}
+	}
+}
+
+func TestSolitonDistributionShape(t *testing.T) {
+	const k = 10000
+	tab := newSolitonTable(k, DefaultParams())
+	// CDF must be monotone, end at 1, and put the classic ~1/2 mass at
+	// degree 2 (ideal soliton ρ(2) = 1/2, robust boost shifts it a bit).
+	prev := 0.0
+	for _, c := range tab.cdf {
+		if c < prev-1e-12 {
+			t.Fatal("CDF not monotone")
+		}
+		prev = c
+	}
+	if math.Abs(tab.cdf[k-1]-1) > 1e-12 {
+		t.Fatalf("CDF ends at %v", tab.cdf[k-1])
+	}
+	massAt2 := tab.cdf[1] - tab.cdf[0]
+	if massAt2 < 0.3 || massAt2 > 0.6 {
+		t.Errorf("degree-2 mass %.3f, want near 1/2", massAt2)
+	}
+	// Mean degree is O(log k): for k = 10000 it sits around 8-15.
+	gen := rng.New(5)
+	sum := 0.0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		sum += float64(tab.sample(gen.Float64()))
+	}
+	mean := sum / draws
+	if mean < 4 || mean > 25 {
+		t.Errorf("mean sampled degree %.1f, want O(log k) ~ 10", mean)
+	}
+}
+
+func TestNeighborsDeterministicFromSeed(t *testing.T) {
+	tab := newSolitonTable(500, DefaultParams())
+	a := neighborsFromSeed(12345, 500, tab, nil)
+	b := neighborsFromSeed(12345, 500, tab, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic degree")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic neighbors")
+		}
+	}
+}
+
+func TestEncoderRejectsShortMessage(t *testing.T) {
+	if _, err := NewEncoder([]uint64{1, 2}, DefaultParams(), 1); err == nil {
+		t.Fatal("short message accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, kRaw uint16) bool {
+		k := int(kRaw%400) + 50
+		msg := message(k, seed)
+		enc, err := NewEncoder(msg, DefaultParams(), seed^0xfeed)
+		if err != nil {
+			return false
+		}
+		// Generous 1.6x overhead: failure probability is negligible, so a
+		// stall would indicate a decoder bug rather than bad luck.
+		got, _, err := Decode(k, enc.Emit(int(1.6*float64(k))+20), DefaultParams())
+		if err != nil {
+			return false
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	msg := message(1<<14, 1)
+	enc, _ := NewEncoder(msg, DefaultParams(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Next()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	const k = 1 << 12
+	msg := message(k, 1)
+	enc, _ := NewEncoder(msg, DefaultParams(), 1)
+	symbols := enc.Emit(k * 12 / 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(k, symbols, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package hypergraph provides the random r-uniform hypergraph models that
+// the peeling experiments of Jiang, Mitzenmacher, and Thaler (SPAA 2014)
+// run on, together with a compact CSR incidence representation that the
+// peelers iterate over.
+//
+// Three generators are provided:
+//
+//   - Uniform: the paper's G^r_{n,cn} model — exactly m = cn edges, each
+//     an independently chosen set of r distinct vertices.
+//   - Binomial: the paper's G^r_c model — every possible edge appears
+//     independently with probability q = cn/C(n,r). The edge count is then
+//     Binomial(C(n,r), q), which for the sparse regime used throughout the
+//     paper is within total-variation distance O((cn)²/C(n,r)) of
+//     Poisson(cn); we sample the count from Poisson(cn) and then draw that
+//     many independent edges, which realizes the model up to that
+//     vanishing distance (Le Cam; see internal/poisson).
+//   - Partitioned: the Appendix B / IBLT model — vertices split into r
+//     equal subtables, each edge containing exactly one vertex per
+//     subtable.
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// MaxArity bounds the edge arity r. Eight covers every configuration in
+// the paper (r <= 5) with headroom, and keeps scratch tuples on the stack.
+const MaxArity = 8
+
+// Hypergraph is an immutable r-uniform hypergraph with a CSR incidence
+// index. Vertices are 0..N-1; edges are 0..M-1. Edge e's vertices are
+// Edges[e*R : e*R+R].
+type Hypergraph struct {
+	N int // number of vertices
+	M int // number of edges
+	R int // vertices per edge (arity)
+
+	// Edges holds the vertex ids of each edge, flattened: edge e occupies
+	// Edges[e*R : (e+1)*R]. In partitioned graphs, position j of each edge
+	// lies in subtable j.
+	Edges []uint32
+
+	// Offsets/Incidence form the CSR index: the edges incident to vertex v
+	// are Incidence[Offsets[v]:Offsets[v+1]]. A vertex appearing twice in
+	// one edge (impossible for Uniform/Partitioned, which draw distinct
+	// vertices) would be listed once per appearance.
+	Offsets   []uint32
+	Incidence []uint32
+
+	// SubtableSize is N/R for partitioned graphs (vertex v belongs to
+	// subtable v/SubtableSize); 0 for unpartitioned graphs.
+	SubtableSize int
+}
+
+// EdgeVertices returns the vertex slice of edge e (aliasing internal
+// storage; callers must not modify it).
+func (g *Hypergraph) EdgeVertices(e int) []uint32 {
+	return g.Edges[e*g.R : e*g.R+g.R]
+}
+
+// VertexEdges returns the edge ids incident to vertex v (aliasing internal
+// storage; callers must not modify it).
+func (g *Hypergraph) VertexEdges(v int) []uint32 {
+	return g.Incidence[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Degree returns the degree of vertex v (with multiplicity for repeated
+// incidence, which the provided generators never produce).
+func (g *Hypergraph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Degrees returns a freshly allocated degree array.
+func (g *Hypergraph) Degrees() []int32 {
+	d := make([]int32, g.N)
+	for v := 0; v < g.N; v++ {
+		d[v] = int32(g.Offsets[v+1] - g.Offsets[v])
+	}
+	return d
+}
+
+// Subtable returns the subtable index of vertex v for partitioned graphs.
+// It panics on unpartitioned graphs.
+func (g *Hypergraph) Subtable(v uint32) int {
+	if g.SubtableSize == 0 {
+		panic("hypergraph: Subtable on unpartitioned graph")
+	}
+	return int(v) / g.SubtableSize
+}
+
+// EdgeDensity returns c = M/N.
+func (g *Hypergraph) EdgeDensity() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.M) / float64(g.N)
+}
+
+func validate(n, m, r int) {
+	if r < 2 || r > MaxArity {
+		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))
+	}
+	if n < r {
+		panic(fmt.Sprintf("hypergraph: n=%d smaller than arity %d", n, r))
+	}
+	if m < 0 {
+		panic("hypergraph: negative edge count")
+	}
+}
+
+// Uniform generates the G^r_{n,m} model: m edges, each a uniformly chosen
+// r-subset of [0, n), drawn independently (edges may repeat, matching the
+// paper's hashing applications where two items can hash identically).
+func Uniform(n, m, r int, gen *rng.RNG) *Hypergraph {
+	validate(n, m, r)
+	g := &Hypergraph{N: n, M: m, R: r, Edges: make([]uint32, m*r)}
+	var tuple [MaxArity]uint32
+	for e := 0; e < m; e++ {
+		gen.SampleDistinct(tuple[:r], uint32(n))
+		copy(g.Edges[e*r:], tuple[:r])
+	}
+	g.buildIncidence()
+	return g
+}
+
+// Binomial generates the G^r_c model on n vertices with edge density c:
+// the number of edges is Poisson(cn) (the sparse-regime limit of
+// Binomial(C(n,r), cn/C(n,r))), and each edge is an independent uniform
+// r-subset.
+func Binomial(n int, c float64, r int, gen *rng.RNG) *Hypergraph {
+	if c < 0 {
+		panic("hypergraph: negative edge density")
+	}
+	m := gen.Poisson(c * float64(n))
+	return Uniform(n, m, r, gen)
+}
+
+// Partitioned generates the Appendix B model: n vertices split into r
+// subtables of n/r (n must be divisible by r), and m edges each containing
+// exactly one uniform vertex from every subtable. Position j of each edge
+// lies in subtable j, mirroring how an IBLT hashes an item once per
+// subtable.
+func Partitioned(n, m, r int, gen *rng.RNG) *Hypergraph {
+	validate(n, m, r)
+	if n%r != 0 {
+		panic(fmt.Sprintf("hypergraph: n=%d not divisible by r=%d", n, r))
+	}
+	sub := n / r
+	g := &Hypergraph{N: n, M: m, R: r, Edges: make([]uint32, m*r), SubtableSize: sub}
+	for e := 0; e < m; e++ {
+		base := e * r
+		for j := 0; j < r; j++ {
+			g.Edges[base+j] = uint32(j*sub) + uint32(gen.Uint64n(uint64(sub)))
+		}
+	}
+	g.buildIncidence()
+	return g
+}
+
+// FromEdges builds a hypergraph from an explicit flattened edge list
+// (length m*r). The slice is retained, not copied. SubtableSize may be 0.
+// It panics if the list length is not a multiple of r or any vertex id is
+// out of range.
+func FromEdges(n, r int, edges []uint32, subtableSize int) *Hypergraph {
+	if r < 2 || r > MaxArity {
+		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))
+	}
+	if len(edges)%r != 0 {
+		panic("hypergraph: edge list length not a multiple of r")
+	}
+	for _, v := range edges {
+		if int(v) >= n {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, n))
+		}
+	}
+	g := &Hypergraph{N: n, M: len(edges) / r, R: r, Edges: edges, SubtableSize: subtableSize}
+	g.buildIncidence()
+	return g
+}
+
+// buildIncidence constructs the CSR index with a counting sort. Degree
+// counting and scattering parallelize over edges for large graphs.
+func (g *Hypergraph) buildIncidence() {
+	n, m, r := g.N, g.M, g.R
+	counts := make([]uint32, n+1)
+	// Count degrees. For large m, count into per-worker arrays would cost
+	// O(workers*n) memory; instead use atomic-free sequential counting,
+	// which is memory-bound and already fast (single pass over Edges).
+	for _, v := range g.Edges {
+		counts[v+1]++
+	}
+	// Prefix sum.
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	g.Offsets = make([]uint32, n+1)
+	copy(g.Offsets, counts)
+	// Scatter. cursor[v] tracks the next write slot for vertex v; the
+	// sequential scatter preserves edge order within each vertex list.
+	g.Incidence = make([]uint32, m*r)
+	cursor := make([]uint32, n)
+	copy(cursor, counts[:n])
+	for e := 0; e < m; e++ {
+		base := e * r
+		for j := 0; j < r; j++ {
+			v := g.Edges[base+j]
+			g.Incidence[cursor[v]] = uint32(e)
+			cursor[v]++
+		}
+	}
+}
+
+// DegreeHistogram returns the vertex degree distribution up to maxDeg
+// (degrees beyond maxDeg are clamped into the final bucket). Used by the
+// tests to compare against the Poisson(rc) branching approximation.
+func (g *Hypergraph) DegreeHistogram(maxDeg int) []int {
+	hist := make([]int, maxDeg+1)
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		if d > maxDeg {
+			d = maxDeg
+		}
+		hist[d]++
+	}
+	return hist
+}
+
+// CountDegreesBelow returns how many vertices currently have degree < k in
+// the full graph (round-1 peel candidates), computed in parallel.
+func (g *Hypergraph) CountDegreesBelow(k int) int {
+	counter := parallel.NewCounter()
+	parallel.For(g.N, 4096, func(lo, hi int) {
+		local := 0
+		for v := lo; v < hi; v++ {
+			if g.Degree(v) < k {
+				local++
+			}
+		}
+		counter.Add(lo, int64(local))
+	})
+	return int(counter.Sum())
+}

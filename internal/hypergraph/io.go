@@ -1,0 +1,99 @@
+package hypergraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary hypergraph format, for persisting generated instances and
+// feeding external graphs to cmd/peeltool:
+//
+//	magic "HGR1" (4 bytes)
+//	n, m, r, subtableSize (uint64 little-endian each)
+//	edges (m·r × uint32 little-endian)
+
+const wireMagic = "HGR1"
+
+// ErrBadFormat is returned by ReadFrom for corrupt or truncated payloads.
+var ErrBadFormat = errors.New("hypergraph: bad binary format")
+
+// WriteTo serializes the hypergraph. It implements io.WriterTo.
+func (g *Hypergraph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(wireMagic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.N))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.M))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.R))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(g.SubtableSize))
+	n, err = bw.Write(hdr[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var buf [4]byte
+	for _, v := range g.Edges {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		n, err = bw.Write(buf[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a hypergraph written by WriteTo and rebuilds the
+// incidence index. It validates vertex ranges and the partition
+// structure.
+func ReadFrom(r io.Reader) (*Hypergraph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != wireMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadFormat)
+	}
+	var hdr [32]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadFormat)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[0:]))
+	m := int(binary.LittleEndian.Uint64(hdr[8:]))
+	rr := int(binary.LittleEndian.Uint64(hdr[16:]))
+	sub := int(binary.LittleEndian.Uint64(hdr[24:]))
+	if rr < 2 || rr > MaxArity || n < rr || m < 0 || sub < 0 {
+		return nil, fmt.Errorf("%w: header n=%d m=%d r=%d sub=%d", ErrBadFormat, n, m, rr, sub)
+	}
+	if sub != 0 && sub*rr != n {
+		return nil, fmt.Errorf("%w: partition %d×%d != n=%d", ErrBadFormat, sub, rr, n)
+	}
+	edges := make([]uint32, m*rr)
+	raw := make([]byte, 4*len(edges))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("%w: short edge data", ErrBadFormat)
+	}
+	for i := range edges {
+		v := binary.LittleEndian.Uint32(raw[4*i:])
+		if int(v) >= n {
+			return nil, fmt.Errorf("%w: vertex %d out of range", ErrBadFormat, v)
+		}
+		edges[i] = v
+	}
+	if sub != 0 {
+		for e := 0; e < m; e++ {
+			for j := 0; j < rr; j++ {
+				if int(edges[e*rr+j])/sub != j {
+					return nil, fmt.Errorf("%w: edge %d violates partition", ErrBadFormat, e)
+				}
+			}
+		}
+	}
+	return FromEdges(n, rr, edges, sub), nil
+}

@@ -1,0 +1,128 @@
+package iblt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// DecodeParallelFrontier is a work-efficient variant of DecodeParallel:
+// instead of rescanning every cell in every subround (the paper's GPU
+// strategy, whose above-threshold cost the paper itself points out), it
+// scans the table once and then tracks only *candidate* cells — cells
+// touched by a deletion since they were last examined. Total work becomes
+// proportional to table size plus peeling work, like the serial decoder,
+// while the subround structure (and its exactly-once guarantee) is
+// unchanged.
+//
+// This is an engineering extension beyond the paper: it is to
+// DecodeParallel what the core package's Frontier scan policy is to its
+// FullScan policy. Results (recovered set, completeness) are identical;
+// only the work profile differs. Subround/round counts can differ from
+// DecodeParallel because a candidate examined mid-round reflects
+// deletions from the current subround rather than only earlier rounds —
+// peeling confluence makes that harmless.
+func (t *Table) DecodeParallelFrontier() *ParallelResult {
+	res := &ParallelResult{}
+
+	// pending[c] != 0 while cell c sits in a candidate list; the CAS
+	// guard guarantees each cell has at most one pending entry, which is
+	// what makes double recovery impossible.
+	pending := make([]uint32, t.subSize*t.r)
+	cands := make([][]int, t.r)
+
+	// Initial pass: every cell is a candidate once.
+	for j := 0; j < t.r; j++ {
+		base := j * t.subSize
+		cands[j] = make([]int, t.subSize)
+		for ci := range cands[j] {
+			cands[j][ci] = base + ci
+			pending[base+ci] = 1
+		}
+	}
+
+	var mu sync.Mutex
+	var peel []int
+	subround := 0
+	for round := 1; ; round++ {
+		recoveredThisRound := 0
+		anyCandidates := false
+		for j := 0; j < t.r; j++ {
+			subround++
+			if len(cands[j]) == 0 {
+				continue
+			}
+			anyCandidates = true
+			// Phase A (single-threaded): snapshot and clear pending flags
+			// so deletions during Phase B can re-enlist cells.
+			peel = peel[:0]
+			peel = append(peel, cands[j]...)
+			cands[j] = cands[j][:0]
+			for _, c := range peel {
+				atomic.StoreUint32(&pending[c], 0)
+			}
+
+			got := 0
+			parallel.For(len(peel), 512, func(lo, hi int) {
+				var added, removed []uint64
+				local := make([][]int, t.r)
+				for idx := lo; idx < hi; idx++ {
+					i := peel[idx]
+					x, sign, isPure := t.pureAtomic(i)
+					if !isPure {
+						continue
+					}
+					cs := t.checksum(x)
+					for jj := 0; jj < t.r; jj++ {
+						c := t.cellIndex(x, jj)
+						atomic.AddInt64(&t.count[c], -sign)
+						atomicXor(&t.keySum[c], x)
+						atomicXor(&t.checkSum[c], cs)
+						// Re-enlist the touched cell (once) so it is
+						// re-examined in its subtable's next subround.
+						if c != i && atomic.CompareAndSwapUint32(&pending[c], 0, 1) {
+							local[jj] = append(local[jj], c)
+						}
+					}
+					if sign > 0 {
+						added = append(added, x)
+					} else {
+						removed = append(removed, x)
+					}
+				}
+				if len(added)+len(removed) > 0 || anyNonEmpty(local) {
+					mu.Lock()
+					res.Added = append(res.Added, added...)
+					res.Removed = append(res.Removed, removed...)
+					got += len(added) + len(removed)
+					for jj := 0; jj < t.r; jj++ {
+						cands[jj] = append(cands[jj], local[jj]...)
+					}
+					mu.Unlock()
+				}
+			})
+			if got > 0 {
+				res.Subrounds = subround
+				recoveredThisRound += got
+			}
+		}
+		if recoveredThisRound > 0 {
+			res.Rounds = round
+		}
+		if !anyCandidates {
+			break
+		}
+	}
+	res.Complete = t.empty()
+	return res
+}
+
+func anyNonEmpty(lists [][]int) bool {
+	for _, l := range lists {
+		if len(l) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package iblt
+
+// GetResult is the outcome of a point lookup. IBLTs are probabilistic:
+// a lookup either resolves definitively from one of the key's cells or
+// remains Unknown (the "listing-only" regime).
+type GetResult int
+
+const (
+	// Unknown: every cell of the key was shared with other keys, so the
+	// lookup could not be resolved without decoding.
+	Unknown GetResult = iota
+	// Present: some cell pins the key as stored (positive side).
+	Present
+	// Absent: some cell proves the key is not stored.
+	Absent
+	// Deleted: some cell pins the key on the negative side (deleted more
+	// often than inserted, or on the remote side of a Subtract).
+	Deleted
+)
+
+// String implements fmt.Stringer.
+func (g GetResult) String() string {
+	switch g {
+	case Present:
+		return "present"
+	case Absent:
+		return "absent"
+	case Deleted:
+		return "deleted"
+	default:
+		return "unknown"
+	}
+}
+
+// Get looks up key x without modifying the table, following the
+// Goodrich-Mitzenmacher Get semantics: an empty cell among x's r cells
+// proves absence; a pure cell resolves to Present/Deleted if it holds x
+// and Absent if it holds some other key; otherwise the result is Unknown.
+func (t *Table) Get(x uint64) GetResult {
+	t.checkKey(x)
+	for j := 0; j < t.r; j++ {
+		i := t.cellIndex(x, j)
+		if t.count[i] == 0 && t.keySum[i] == 0 && t.checkSum[i] == 0 {
+			return Absent
+		}
+		if key, sign, ok := t.pure(i); ok {
+			switch {
+			case key != x:
+				return Absent // x would have to share this pure cell
+			case sign > 0:
+				return Present
+			default:
+				return Deleted
+			}
+		}
+	}
+	return Unknown
+}
+
+// ListEntries returns the decodable contents without destroying the
+// table (it decodes a clone). ok reports whether the listing is complete.
+func (t *Table) ListEntries() (added, removed []uint64, ok bool) {
+	return t.Clone().Decode()
+}
+
+// NetCount returns the net number of keys in the table: insertions minus
+// deletions. It is exact (each key contributes r to the total cell
+// count) and O(cells).
+func (t *Table) NetCount() int64 {
+	var total int64
+	for _, c := range t.count {
+		total += c
+	}
+	return total / int64(t.r)
+}
+
+// Empty reports whether the table holds nothing (all cells zero).
+func (t *Table) Empty() bool { return t.empty() }

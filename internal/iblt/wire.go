@@ -1,0 +1,88 @@
+package iblt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format: the whole point of IBLT-based set reconciliation is that a
+// table crosses the network, so tables serialize to a compact
+// little-endian layout:
+//
+//	magic "IBLT"  (4 bytes)
+//	version       (uint16)
+//	r             (uint16)
+//	subSize       (uint64)
+//	seed          (uint64)
+//	cells         (r·subSize × 24 bytes: count int64, keySum, checkSum)
+//
+// The seed travels with the table so the receiver can verify
+// compatibility before Subtract.
+
+const (
+	wireMagic   = "IBLT"
+	wireVersion = 1
+	headerSize  = 4 + 2 + 2 + 8 + 8
+	cellSize    = 24
+)
+
+// ErrBadWireFormat is returned by UnmarshalBinary for corrupt or
+// incompatible payloads.
+var ErrBadWireFormat = errors.New("iblt: bad wire format")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	n := t.subSize * t.r
+	buf := make([]byte, headerSize+n*cellSize)
+	copy(buf, wireMagic)
+	binary.LittleEndian.PutUint16(buf[4:], wireVersion)
+	binary.LittleEndian.PutUint16(buf[6:], uint16(t.r))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(t.subSize))
+	binary.LittleEndian.PutUint64(buf[16:], t.seed)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(t.count[i]))
+		binary.LittleEndian.PutUint64(buf[off+8:], t.keySum[i])
+		binary.LittleEndian.PutUint64(buf[off+16:], t.checkSum[i])
+		off += cellSize
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, reconstructing
+// the table (including its hash seeds) from MarshalBinary output.
+func (t *Table) UnmarshalBinary(data []byte) error {
+	if len(data) < headerSize || string(data[:4]) != wireMagic {
+		return fmt.Errorf("%w: missing header", ErrBadWireFormat)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != wireVersion {
+		return fmt.Errorf("%w: version %d", ErrBadWireFormat, v)
+	}
+	r := int(binary.LittleEndian.Uint16(data[6:]))
+	subSize := int(binary.LittleEndian.Uint64(data[8:]))
+	seed := binary.LittleEndian.Uint64(data[16:])
+	if r < 2 || r > 8 || subSize <= 0 {
+		return fmt.Errorf("%w: geometry r=%d subSize=%d", ErrBadWireFormat, r, subSize)
+	}
+	n := subSize * r
+	if len(data) != headerSize+n*cellSize {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadWireFormat, len(data), headerSize+n*cellSize)
+	}
+	fresh := New(n, r, seed)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		fresh.count[i] = int64(binary.LittleEndian.Uint64(data[off:]))
+		fresh.keySum[i] = binary.LittleEndian.Uint64(data[off+8:])
+		fresh.checkSum[i] = binary.LittleEndian.Uint64(data[off+16:])
+		off += cellSize
+	}
+	*t = *fresh
+	return nil
+}
+
+// WireSize returns the serialized size in bytes — the reconciliation
+// bandwidth cost (O(difference), independent of set sizes).
+func (t *Table) WireSize() int {
+	return headerSize + t.subSize*t.r*cellSize
+}

@@ -1,0 +1,171 @@
+// Package mphf builds minimal perfect hash functions with the BDZ
+// construction (Botelho-Pagh-Ziviani), the classic "peeling to an empty
+// 2-core" application: keys become edges of a random 3-partite 3-uniform
+// hypergraph over ~1.23·m vertices, the graph is peeled (k = 2), and g
+// values are assigned in reverse peel order so that every key selects a
+// distinct vertex. Construction succeeds on the first try w.h.p. because
+// the edge density 1/γ = 1/1.23 ≈ 0.813 sits below the paper's threshold
+// c*(2,3) ≈ 0.818.
+package mphf
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// DefaultGamma is the standard vertex/key ratio: edge density 1/1.23 is
+// just below c*(2,3) ≈ 0.818, so peeling succeeds w.h.p.
+const DefaultGamma = 1.23
+
+// arity is fixed: BDZ uses 3 hashes (γ would need to exceed 1/0.772 ≈ 1.295
+// table growth for r = 4 with no lookup benefit).
+const arity = 3
+
+// MPHF is an immutable minimal perfect hash function over the key set it
+// was built from: Lookup maps each build key to a distinct value in
+// [0, Keys()); unknown keys map to arbitrary values (add an external
+// fingerprint if membership matters).
+type MPHF struct {
+	seed    uint64
+	hseed   [arity]uint64
+	m       int      // number of keys
+	subSize int      // vertices per part (3 parts)
+	g       []uint8  // 2-bit values stored one per byte; 0..2
+	used    []uint64 // bitmap of selected vertices
+	rank    []uint32 // rank of each 64-bit used word (prefix popcounts)
+}
+
+// ErrBuildFailed is returned when every seed attempt left a non-empty
+// 2-core, which for distinct keys at γ ≥ 1.23 is astronomically unlikely;
+// the usual cause is duplicate keys.
+var ErrBuildFailed = errors.New("mphf: construction failed on all attempts")
+
+// ErrDuplicateKeys is returned when the key set contains duplicates.
+var ErrDuplicateKeys = errors.New("mphf: duplicate keys")
+
+// Build constructs an MPHF for the distinct keys using the given
+// vertex/key ratio gamma (use DefaultGamma) and an initial seed; it
+// retries with derived seeds up to maxTries times (10 is plenty).
+func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, error) {
+	if gamma < 1.1 {
+		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)
+	}
+	if maxTries <= 0 {
+		maxTries = 10
+	}
+	if err := checkDistinct(keys); err != nil {
+		return nil, err
+	}
+	m := len(keys)
+	subSize := int(gamma*float64(m))/arity + 1
+	if subSize < 2 {
+		subSize = 2
+	}
+	for try := 0; try < maxTries; try++ {
+		f := &MPHF{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), m: m, subSize: subSize}
+		for j := 0; j < arity; j++ {
+			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
+		}
+		if f.assign(keys) {
+			return f, nil
+		}
+	}
+	return nil, ErrBuildFailed
+}
+
+func checkDistinct(keys []uint64) error {
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return ErrDuplicateKeys
+		}
+	}
+	return nil
+}
+
+// vertices returns the three vertices of key x, one per part.
+func (f *MPHF) vertices(x uint64) [arity]uint32 {
+	var vs [arity]uint32
+	for j := 0; j < arity; j++ {
+		h := rng.Mix64(x ^ f.hseed[j])
+		vs[j] = uint32(j*f.subSize) + uint32((h>>32)*uint64(f.subSize)>>32)
+	}
+	return vs
+}
+
+// assign peels the key hypergraph and computes g values; it reports
+// whether peeling reached the empty 2-core.
+func (f *MPHF) assign(keys []uint64) bool {
+	n := f.subSize * arity
+	edges := make([]uint32, 0, len(keys)*arity)
+	for _, x := range keys {
+		vs := f.vertices(x)
+		edges = append(edges, vs[0], vs[1], vs[2])
+	}
+	g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+	peel := core.Sequential(g, 2)
+	if !peel.Empty() {
+		return false
+	}
+
+	// Reverse peel order: when edge e (freed by vertex v at position p)
+	// is processed, the other two endpoints' g values are final, so
+	// setting g[v] = (p − g[u1] − g[u2]) mod 3 makes the lookup rule
+	// (g[v0]+g[v1]+g[v2]) mod 3 == p hold. Unassigned vertices keep 0.
+	f.g = make([]uint8, n)
+	f.used = make([]uint64, (n+63)/64)
+	for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
+		e := int(peel.PeelOrder[i])
+		free := peel.FreeVertex[e]
+		vs := g.EdgeVertices(e)
+		sum := 0
+		p := -1
+		for pos, u := range vs {
+			if u == free {
+				p = pos
+			} else {
+				sum += int(f.g[u])
+			}
+		}
+		f.g[free] = uint8(((p-sum)%arity + arity) % arity)
+		f.used[free>>6] |= 1 << (uint(free) & 63)
+	}
+
+	// Rank directory: prefix popcounts per word for O(1) rank.
+	f.rank = make([]uint32, len(f.used)+1)
+	for i, w := range f.used {
+		f.rank[i+1] = f.rank[i] + uint32(bits.OnesCount64(w))
+	}
+	return true
+}
+
+// Keys returns the number of keys the function was built over.
+func (f *MPHF) Keys() int { return f.m }
+
+// Vertices returns the internal table size (≈ γ·m); the bits-per-key cost
+// is 2·Vertices()/Keys() plus the rank directory.
+func (f *MPHF) Vertices() int { return f.subSize * arity }
+
+// Lookup returns the index in [0, Keys()) assigned to key x. For keys not
+// in the build set the result is arbitrary (but in range for any x whose
+// selected vertex happens to be used; otherwise it is clamped).
+func (f *MPHF) Lookup(x uint64) int {
+	vs := f.vertices(x)
+	p := (int(f.g[vs[0]]) + int(f.g[vs[1]]) + int(f.g[vs[2]])) % arity
+	v := vs[p]
+	// rank(v): used vertices strictly before v, plus clamping for
+	// foreign keys that select an unused vertex.
+	word, bit := v>>6, uint(v)&63
+	r := int(f.rank[word]) + bits.OnesCount64(f.used[word]&((1<<bit)-1))
+	if r >= f.m {
+		r = f.m - 1
+	}
+	return r
+}

@@ -1,0 +1,186 @@
+package mphf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomKeys(n int, seed uint64) []uint64 {
+	gen := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := gen.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestBuildAndLookupBijective(t *testing.T) {
+	keys := randomKeys(50000, 1)
+	f, err := Build(keys, DefaultGamma, 42, 10)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if f.Keys() != len(keys) {
+		t.Fatalf("Keys() = %d", f.Keys())
+	}
+	seen := make([]bool, len(keys))
+	for _, k := range keys {
+		v := f.Lookup(k)
+		if v < 0 || v >= len(keys) {
+			t.Fatalf("Lookup out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("Lookup collision at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSmallSets(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 17} {
+		keys := randomKeys(n, uint64(n))
+		f, err := Build(keys, DefaultGamma, 7, 20)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := make(map[int]bool)
+		for _, k := range keys {
+			v := f.Lookup(k)
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d: bad lookup %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	keys := []uint64{1, 2, 3, 2}
+	if _, err := Build(keys, DefaultGamma, 1, 5); !errors.Is(err, ErrDuplicateKeys) {
+		t.Fatalf("expected ErrDuplicateKeys, got %v", err)
+	}
+}
+
+func TestGammaTooSmall(t *testing.T) {
+	if _, err := Build(randomKeys(10, 1), 1.0, 1, 3); err == nil {
+		t.Fatal("gamma 1.0 accepted")
+	}
+}
+
+func TestTightGammaEventuallyBuilds(t *testing.T) {
+	// γ = 1.25 keeps density 0.80 < 0.818: still succeeds, demonstrating
+	// how close to the threshold the construction can run.
+	keys := randomKeys(20000, 3)
+	f, err := Build(keys, 1.25, 11, 20)
+	if err != nil {
+		t.Fatalf("Build at gamma 1.25: %v", err)
+	}
+	seen := make([]bool, len(keys))
+	for _, k := range keys {
+		v := f.Lookup(k)
+		if seen[v] {
+			t.Fatal("collision at tight gamma")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	keys := randomKeys(10000, 4)
+	f, err := Build(keys, DefaultGamma, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices ≈ γ·m (within the subtable rounding of 3 vertices).
+	if v := f.Vertices(); v < int(DefaultGamma*10000) || v > int(DefaultGamma*10000)+3 {
+		t.Errorf("Vertices() = %d, want ≈ %d", v, int(DefaultGamma*10000))
+	}
+}
+
+func TestDeterministicLookups(t *testing.T) {
+	keys := randomKeys(5000, 5)
+	f, err := Build(keys, DefaultGamma, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(keys, DefaultGamma, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if f.Lookup(k) != g.Lookup(k) {
+			t.Fatal("same-seed builds disagree")
+		}
+	}
+}
+
+func TestForeignKeysStayInRange(t *testing.T) {
+	keys := randomKeys(1000, 6)
+	f, err := Build(keys, DefaultGamma, 13, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rng.New(999)
+	for i := 0; i < 10000; i++ {
+		v := f.Lookup(gen.Uint64())
+		if v < 0 || v >= f.Keys() {
+			t.Fatalf("foreign key lookup out of range: %d", v)
+		}
+	}
+}
+
+func TestQuickBijectivity(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		keys := randomKeys(n, seed)
+		fn, err := Build(keys, DefaultGamma, seed^0xbeef, 20)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, k := range keys {
+			v := fn.Lookup(k)
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(19))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys := randomKeys(1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(keys, DefaultGamma, uint64(i), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	keys := randomKeys(1<<16, 1)
+	f, err := Build(keys, DefaultGamma, 1, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += f.Lookup(keys[i&(1<<16-1)])
+	}
+	_ = sink
+}

@@ -1,0 +1,171 @@
+// Package parallel provides the small set of shared-memory parallelism
+// primitives the peeling implementations need: a blocking parallel-for
+// with grain control, an atomic bitset for claim/mark operations, and a
+// sharded counter that avoids cache-line contention when many goroutines
+// tally removals.
+//
+// The design mirrors what the paper's GPU implementation gets from CUDA:
+// a flat iteration space chopped across hardware threads, atomic
+// test-and-set to claim cells, and a cheap parallel reduction to decide
+// whether a round made progress.
+package parallel
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the degree of parallelism used by For: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For executes fn over the index range [0, n) in parallel, handing each
+// worker contiguous chunks of at least grain indices. fn must be safe to
+// call concurrently on disjoint ranges. For blocks until all chunks are
+// done. A grain <= 0 selects a default that gives each worker a few
+// chunks for load balancing. If the range is small or only one worker is
+// available, fn runs inline on the caller's goroutine.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if grain <= 0 {
+		grain = n/(workers*4) + 1
+	}
+	if workers == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	// Chunks are claimed dynamically via an atomic cursor, which balances
+	// load when per-index work varies (e.g. peeling frontiers).
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	nChunks := (n + grain - 1) / grain
+	if workers > nChunks {
+		workers = nChunks
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				fn(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Bitset is a fixed-size set of bits supporting atomic operations. It is
+// used to claim edges (each edge must be peeled exactly once even when
+// several endpoints peel simultaneously) and to mark removed vertices.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset holding n bits, all zero.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports whether bit i is set (non-atomic read; callers synchronize
+// across rounds via the round barrier).
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i non-atomically. Use only during single-threaded setup.
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// AtomicGet reports whether bit i is set using an atomic load.
+func (b *Bitset) AtomicGet(i int) bool {
+	return atomic.LoadUint64(&b.words[i>>6])&(1<<(uint(i)&63)) != 0
+}
+
+// AtomicSet sets bit i with a CAS loop, returning true if this call
+// changed the bit from 0 to 1 (i.e. the caller "claimed" i) and false if
+// it was already set. This is the exactly-once edge-removal primitive.
+func (b *Bitset) AtomicSet(i int) bool {
+	addr := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Reset clears all bits (non-atomic; call between runs).
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits (non-atomic; call at a barrier).
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Counter is a sharded counter: concurrent Add calls land on per-shard
+// cache lines, and Sum folds them at a barrier.
+type Counter struct {
+	shards []paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte // pad to a cache line to avoid false sharing
+}
+
+// NewCounter returns a counter with one shard per worker.
+func NewCounter() *Counter {
+	return &Counter{shards: make([]paddedInt64, Workers())}
+}
+
+// Add adds delta to the shard identified by worker w (callers pass any
+// stable small integer, typically a worker index; it is reduced mod the
+// shard count).
+func (c *Counter) Add(w int, delta int64) {
+	c.shards[w%len(c.shards)].v.Add(delta)
+}
+
+// Sum returns the total across shards.
+func (c *Counter) Sum() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Reset zeroes all shards (non-atomic; call at a barrier).
+func (c *Counter) Reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}

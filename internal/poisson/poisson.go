@@ -1,0 +1,134 @@
+// Package poisson provides numerically careful evaluation of the Poisson
+// probabilities that drive the peeling recurrences of Jiang, Mitzenmacher,
+// and Thaler (SPAA 2014).
+//
+// The central quantities are the truncated sums S(a, x) = Σ_{j=0..a} x^j/j!
+// and the tail probabilities Pr(Poisson(x) >= k) = 1 - e^{-x} S(k-1, x)
+// that appear in Equations (2.1), (3.2)-(3.4), and (B.1) of the paper.
+package poisson
+
+import "math"
+
+// PMF returns Pr(Poisson(mean) = k). It returns 0 for k < 0 and handles
+// mean = 0 exactly. Computation is in log space to avoid overflow of k!.
+func PMF(k int, mean float64) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k + 1))
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg)
+}
+
+// CDF returns Pr(Poisson(mean) <= k) by direct stable summation of the
+// first k+1 terms. The peeling recurrences only ever need small k (k-1 or
+// k-2 for the core parameter k), so direct summation is exact to ulps.
+func CDF(k int, mean float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if mean <= 0 {
+		return 1
+	}
+	return math.Exp(-mean) * TruncatedExpSum(k, mean)
+}
+
+// Tail returns Pr(Poisson(mean) >= k) = 1 - CDF(k-1, mean).
+//
+// For the regime used by the recurrences (small k, mean = O(rc)) the direct
+// complement is accurate; for very small means it switches to summing the
+// tail terms themselves so that Tail(k, mean) ~ mean^k/k! retains relative
+// precision instead of cancelling to zero. That precision is what lets the
+// doubly-exponential decay of Section 3.1 be observed down to 1e-300.
+func Tail(k int, mean float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 0.5 {
+		// Sum e^-mean * mean^j / j! for j = k, k+1, ... until negligible.
+		lg, _ := math.Lgamma(float64(k + 1))
+		term := math.Exp(float64(k)*math.Log(mean) - mean - lg)
+		sum := 0.0
+		for j := k; term > 0 && j < k+64; j++ {
+			sum += term
+			term *= mean / float64(j+1)
+		}
+		return sum
+	}
+	return 1 - CDF(k-1, mean)
+}
+
+// TruncatedExpSum returns S(a, x) = Σ_{j=0..a} x^j / j!, the truncated
+// exponential series from the threshold formula (2.1). For a < 0 it
+// returns 0 (the paper's convention S(-1, x) = 0).
+func TruncatedExpSum(a int, x float64) float64 {
+	if a < 0 {
+		return 0
+	}
+	sum := 1.0
+	term := 1.0
+	for j := 1; j <= a; j++ {
+		term *= x / float64(j)
+		sum += term
+	}
+	return sum
+}
+
+// RegularizedTail returns 1 - e^{-x} S(a, x) = Pr(Poisson(x) >= a+1),
+// the expression the recurrences exponentiate. It delegates to Tail for
+// the numerically safe evaluation.
+func RegularizedTail(a int, x float64) float64 {
+	return Tail(a+1, x)
+}
+
+// LeCamBound returns the Le Cam total-variation bound 2 Σ p_i² = 2 n p²
+// between a Binomial(n, p) and Poisson(np) distribution (Theorem 6 of the
+// paper, with uniform p_i = p). The Lemma 4 coupling argument consumes it.
+func LeCamBound(n int, p float64) float64 {
+	return 2 * float64(n) * p * p
+}
+
+// BinomialPMF returns Pr(Binomial(n, p) = k), evaluated in log space.
+func BinomialPMF(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return math.Exp(lgN - lgK - lgNK + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+// BinomialPoissonTV returns the exact total-variation distance between
+// Binomial(n, p) and Poisson(np), by direct summation. It is used in tests
+// to verify the Le Cam bound and is O(n) — call with small n only.
+func BinomialPoissonTV(n int, p float64) float64 {
+	mean := float64(n) * p
+	tv := 0.0
+	// Beyond n the binomial mass is zero; sum the Poisson remainder too.
+	for k := 0; k <= n; k++ {
+		tv += math.Abs(BinomialPMF(k, n, p) - PMF(k, mean))
+	}
+	tv += Tail(n+1, mean)
+	return tv / 2
+}

@@ -1,0 +1,220 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPMFKnownValues(t *testing.T) {
+	cases := []struct {
+		k    int
+		mean float64
+		want float64
+	}{
+		{0, 1, math.Exp(-1)},
+		{1, 1, math.Exp(-1)},
+		{2, 1, math.Exp(-1) / 2},
+		{0, 2.8, math.Exp(-2.8)},
+		{3, 2.8, math.Exp(-2.8) * 2.8 * 2.8 * 2.8 / 6},
+		{0, 0, 1},
+		{1, 0, 0},
+		{-1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := PMF(c.k, c.mean); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("PMF(%d, %v) = %v, want %v", c.k, c.mean, got, c.want)
+		}
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, mean := range []float64{0.1, 1, 2.8, 10, 30} {
+		sum := 0.0
+		for k := 0; k < 200; k++ {
+			sum += PMF(k, mean)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("PMF(., %v) sums to %v", mean, sum)
+		}
+	}
+}
+
+func TestCDFTailComplement(t *testing.T) {
+	f := func(kRaw int, meanRaw float64) bool {
+		k := kRaw % 20
+		if k < 0 {
+			k = -k
+		}
+		mean := math.Mod(math.Abs(meanRaw), 20)
+		return almostEqual(CDF(k-1, mean)+Tail(k, mean), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTailMonotoneInMean(t *testing.T) {
+	// Pr(Poisson(m) >= k) increases with m.
+	for k := 1; k <= 5; k++ {
+		prev := -1.0
+		for m := 0.0; m <= 10; m += 0.25 {
+			cur := Tail(k, m)
+			if cur < prev-1e-12 {
+				t.Errorf("Tail(%d, %v) = %v decreased from %v", k, m, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestTailSmallMeanAsymptotics(t *testing.T) {
+	// For tiny means, Tail(k, m) ~ m^k / k!. This is the regime that drives
+	// the doubly exponential decay in Section 3.1 of the paper.
+	for _, m := range []float64{1e-3, 1e-5, 1e-8} {
+		for k := 1; k <= 3; k++ {
+			kFact := 1.0
+			for j := 2; j <= k; j++ {
+				kFact *= float64(j)
+			}
+			want := math.Pow(m, float64(k)) / kFact
+			got := Tail(k, m)
+			if math.Abs(got-want)/want > 1e-2 {
+				t.Errorf("Tail(%d, %v) = %v, want ~%v", k, m, got, want)
+			}
+		}
+	}
+}
+
+func TestTailEdgeCases(t *testing.T) {
+	if got := Tail(0, 5); got != 1 {
+		t.Errorf("Tail(0, 5) = %v, want 1", got)
+	}
+	if got := Tail(3, 0); got != 0 {
+		t.Errorf("Tail(3, 0) = %v, want 0", got)
+	}
+	if got := Tail(-2, 1); got != 1 {
+		t.Errorf("Tail(-2, 1) = %v, want 1", got)
+	}
+}
+
+func TestTailPaperAnchor(t *testing.T) {
+	// Table 2 of the paper: lambda_1 = Pr(Poisson(4*0.7) >= 2) = 0.768922...
+	got := Tail(2, 4*0.7)
+	if !almostEqual(got, 0.768922, 5e-7) {
+		t.Errorf("Tail(2, 2.8) = %.7f, want 0.768922", got)
+	}
+	// And for c = 0.85: Pr(Poisson(3.4) >= 2) = 0.853158... (Table 2 right).
+	got = Tail(2, 4*0.85)
+	if !almostEqual(got, 0.853158, 5e-7) {
+		t.Errorf("Tail(2, 3.4) = %.7f, want 0.853158", got)
+	}
+}
+
+func TestTruncatedExpSum(t *testing.T) {
+	if got := TruncatedExpSum(-1, 3); got != 0 {
+		t.Errorf("S(-1, 3) = %v, want 0", got)
+	}
+	if got := TruncatedExpSum(0, 3); got != 1 {
+		t.Errorf("S(0, 3) = %v, want 1", got)
+	}
+	if got := TruncatedExpSum(2, 2); !almostEqual(got, 1+2+2, 1e-12) {
+		t.Errorf("S(2, 2) = %v, want 5", got)
+	}
+	// S(a, x) -> e^x as a grows.
+	if got := TruncatedExpSum(60, 5); !almostEqual(got, math.Exp(5), 1e-8) {
+		t.Errorf("S(60, 5) = %v, want e^5 = %v", got, math.Exp(5))
+	}
+}
+
+func TestRegularizedTailIdentity(t *testing.T) {
+	f := func(aRaw int, xRaw float64) bool {
+		a := aRaw % 10
+		if a < 0 {
+			a = -a
+		}
+		x := math.Mod(math.Abs(xRaw), 15)
+		direct := 1 - math.Exp(-x)*TruncatedExpSum(a, x)
+		return almostEqual(RegularizedTail(a, x), direct, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInequality35(t *testing.T) {
+	// Paper Equation (3.5): 1 - e^-x S(k-2, x) <= x^{k-1} / (k-1)! for x > 0.
+	for _, k := range []int{2, 3, 4, 5} {
+		kFact := 1.0
+		for j := 2; j <= k-1; j++ {
+			kFact *= float64(j)
+		}
+		for x := 0.01; x <= 5; x += 0.07 {
+			lhs := RegularizedTail(k-2, x)
+			rhs := math.Pow(x, float64(k-1)) / kFact
+			if lhs > rhs*(1+1e-12) {
+				t.Errorf("ineq (3.5) violated at k=%d x=%v: %v > %v", k, x, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {50, 0.9}, {100, 0.01}} {
+		sum := 0.0
+		for k := 0; k <= c.n; k++ {
+			sum += BinomialPMF(k, c.n, c.p)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("BinomialPMF(., %d, %v) sums to %v", c.n, c.p, sum)
+		}
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if got := BinomialPMF(0, 10, 0); got != 1 {
+		t.Errorf("Binomial(10,0) at 0 = %v", got)
+	}
+	if got := BinomialPMF(10, 10, 1); got != 1 {
+		t.Errorf("Binomial(10,1) at 10 = %v", got)
+	}
+	if got := BinomialPMF(-1, 10, 0.5); got != 0 {
+		t.Errorf("Binomial at -1 = %v", got)
+	}
+	if got := BinomialPMF(11, 10, 0.5); got != 0 {
+		t.Errorf("Binomial at n+1 = %v", got)
+	}
+}
+
+func TestLeCamBoundDominatesTV(t *testing.T) {
+	// Theorem 6: TV(Binomial(n,p), Poisson(np)) <= 2 n p^2 (= LeCamBound/... )
+	// Our LeCamBound returns 2np^2; exact TV must be below it.
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{100, 0.01}, {500, 0.004}, {50, 0.1}} {
+		tv := BinomialPoissonTV(c.n, c.p)
+		bound := LeCamBound(c.n, c.p)
+		if tv > bound {
+			t.Errorf("TV %v exceeds Le Cam bound %v for n=%d p=%v", tv, bound, c.n, c.p)
+		}
+		if tv <= 0 {
+			t.Errorf("TV = %v, want positive for n=%d p=%v", tv, c.n, c.p)
+		}
+	}
+}
+
+func BenchmarkTail(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Tail(2, 2.8)
+	}
+	_ = sink
+}

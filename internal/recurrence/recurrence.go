@@ -1,0 +1,231 @@
+// Package recurrence implements the idealized branching-process recurrences
+// from Jiang, Mitzenmacher, and Thaler, "Parallel Peeling Algorithms"
+// (SPAA 2014). These recurrences predict, for the parallel peeling process
+// on a random r-uniform hypergraph with edge density c:
+//
+//   - ρ_i: probability a non-root vertex survives i rounds,
+//   - λ_i: probability the root vertex survives i rounds (so λ_i·n is the
+//     expected number of unpeeled vertices after round i — Table 2),
+//   - β_i: expected number of surviving descendant edges feeding round i.
+//
+// The recurrences are (Equations (3.2)-(3.4), with β_1 = rc):
+//
+//	ρ_i = Pr(Poisson(β_i) >= k-1),   λ_i = Pr(Poisson(β_i) >= k),
+//	β_{i+1} = ρ_i^{r-1} · rc.
+//
+// Appendix B's variant for peeling with r subtables is also provided
+// (Equation (B.1)), along with the λ′ mixing formula that predicts Table 6.
+package recurrence
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/poisson"
+)
+
+// Params identifies a peeling ensemble: k-core parameter K, edge arity R,
+// and edge density C (edges = C·n).
+type Params struct {
+	K int     // peel vertices with degree < K; the K-core survives
+	R int     // edges contain R distinct vertices
+	C float64 // edge density: m = C·n edges on n vertices
+}
+
+// Validate reports an error for parameter combinations outside the paper's
+// scope (k, r >= 2; the k = r = 2 case is excluded from the round theorems
+// but the recurrences themselves remain well defined, so it is allowed).
+func (p Params) Validate() error {
+	if p.K < 2 || p.R < 2 {
+		return fmt.Errorf("recurrence: need k, r >= 2, got k=%d r=%d", p.K, p.R)
+	}
+	if p.C < 0 {
+		return fmt.Errorf("recurrence: negative edge density %v", p.C)
+	}
+	return nil
+}
+
+func (p Params) mustValidate() {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// Step holds the idealized state after one peeling round.
+type Step struct {
+	Round  int     // 1-based round index
+	Beta   float64 // β_i: mean surviving descendant edges entering round i
+	Rho    float64 // ρ_i: non-root survival probability after i rounds
+	Lambda float64 // λ_i: root survival probability after i rounds
+}
+
+// NextBeta applies one step of the density map: given β_i it returns
+// β_{i+1} = rc · Pr(Poisson(β_i) >= k-1)^{r-1}.
+func (p Params) NextBeta(beta float64) float64 {
+	rho := poisson.Tail(p.K-1, beta)
+	return math.Pow(rho, float64(p.R-1)) * float64(p.R) * p.C
+}
+
+// Trace iterates the recurrence for tmax rounds and returns one Step per
+// round, starting with round 1 (β_1 = rc). λ_t·n is the paper's Table 2
+// "Prediction" column for the number of unpeeled vertices after t rounds.
+func (p Params) Trace(tmax int) []Step {
+	p.mustValidate()
+	steps := make([]Step, 0, tmax)
+	beta := float64(p.R) * p.C
+	for t := 1; t <= tmax; t++ {
+		rho := poisson.Tail(p.K-1, beta)
+		lambda := poisson.Tail(p.K, beta)
+		steps = append(steps, Step{Round: t, Beta: beta, Rho: rho, Lambda: lambda})
+		beta = math.Pow(rho, float64(p.R-1)) * float64(p.R) * p.C
+	}
+	return steps
+}
+
+// Lambda returns λ_t for a single round t >= 1 (λ_0 = 1 for t <= 0).
+func (p Params) Lambda(t int) float64 {
+	if t <= 0 {
+		return 1
+	}
+	steps := p.Trace(t)
+	return steps[len(steps)-1].Lambda
+}
+
+// PredictRounds returns the idealized round count at which peeling of an
+// n-vertex instance completes: the smallest t with λ_t·n < 1/2, i.e. the
+// first round after which the expected survivor count drops below one
+// half. maxRounds caps the search; if the recurrence stalls above the
+// threshold the cap is returned along with ok = false.
+func (p Params) PredictRounds(n float64, maxRounds int) (rounds int, ok bool) {
+	p.mustValidate()
+	beta := float64(p.R) * p.C
+	for t := 1; t <= maxRounds; t++ {
+		lambda := poisson.Tail(p.K, beta)
+		if lambda*n < 0.5 {
+			return t, true
+		}
+		beta = p.NextBeta(beta)
+	}
+	return maxRounds, false
+}
+
+// RoundsUntilBetaBelow returns the number of rounds before β_i drops below
+// tau, the quantity Lemma 6 (Theorem 5) analyzes: below the threshold this
+// is Θ(√(1/ν)) for τ fixed below x*, after which β collapses doubly
+// exponentially. Returns maxRounds, false if the cap is hit (e.g. above
+// the threshold, where β never falls below a positive fixed point).
+func (p Params) RoundsUntilBetaBelow(tau float64, maxRounds int) (rounds int, ok bool) {
+	p.mustValidate()
+	beta := float64(p.R) * p.C
+	for t := 1; t <= maxRounds; t++ {
+		if beta < tau {
+			return t, true
+		}
+		beta = p.NextBeta(beta)
+	}
+	return maxRounds, false
+}
+
+// BetaTrace returns β_1..β_tmax, the series plotted in Figure 1 of the
+// paper for densities just below the threshold (showing the Θ(√(1/ν))
+// plateau near x*).
+func (p Params) BetaTrace(tmax int) []float64 {
+	p.mustValidate()
+	out := make([]float64, tmax)
+	beta := float64(p.R) * p.C
+	for t := 0; t < tmax; t++ {
+		out[t] = beta
+		beta = p.NextBeta(beta)
+	}
+	return out
+}
+
+// TheoreticalRounds returns the Theorem 1 leading term
+// (1/log((k-1)(r-1))) · log log n. The O(1) additive term is not modeled.
+// Panics for k = r = 2.
+func (p Params) TheoreticalRounds(n float64) float64 {
+	prod := float64((p.K - 1) * (p.R - 1))
+	if prod <= 1 {
+		panic("recurrence: Theorem 1 constant undefined for k = r = 2")
+	}
+	return math.Log(math.Log(n)) / math.Log(prod)
+}
+
+// SubtableStep holds the idealized state after one subround (i, j) of the
+// Appendix B process: in round i, subround j peels only subtable j.
+type SubtableStep struct {
+	Round    int     // 1-based round index i
+	Subtable int     // 1-based subtable index j within the round
+	Beta     float64 // β_{i,j} of Equation (B.1)
+	Rho      float64 // ρ_{i,j}: survival prob. of a subtable-j vertex
+	Lambda   float64 // λ_{i,j}: root analog with threshold k
+	MixedFra float64 // λ′_{i,j}: overall surviving vertex fraction after (i,j)
+}
+
+// SubtableTrace iterates the Appendix B recurrence for rounds full rounds
+// (r subrounds each) and returns one SubtableStep per subround in
+// execution order. λ′_{i,j}·n is the paper's Table 6 "Prediction" column.
+func (p Params) SubtableTrace(rounds int) []SubtableStep {
+	p.mustValidate()
+	r := p.R
+	rc := float64(r) * p.C
+	rhoPrev := make([]float64, r) // ρ_{i-1,h}, 1 for round 0
+	lambdaPrev := make([]float64, r)
+	for j := range rhoPrev {
+		rhoPrev[j] = 1
+		lambdaPrev[j] = 1
+	}
+	rhoCur := make([]float64, r)
+	lambdaCur := make([]float64, r)
+	steps := make([]SubtableStep, 0, rounds*r)
+	for i := 1; i <= rounds; i++ {
+		for j := 0; j < r; j++ {
+			prod := rc
+			for h := 0; h < j; h++ {
+				prod *= rhoCur[h]
+			}
+			for h := j + 1; h < r; h++ {
+				prod *= rhoPrev[h]
+			}
+			rhoCur[j] = poisson.Tail(p.K-1, prod)
+			lambdaCur[j] = poisson.Tail(p.K, prod)
+			mixed := 0.0
+			for h := 0; h <= j; h++ {
+				mixed += lambdaCur[h]
+			}
+			for h := j + 1; h < r; h++ {
+				mixed += lambdaPrev[h]
+			}
+			mixed /= float64(r)
+			steps = append(steps, SubtableStep{
+				Round: i, Subtable: j + 1,
+				Beta: prod, Rho: rhoCur[j], Lambda: lambdaCur[j], MixedFra: mixed,
+			})
+		}
+		copy(rhoPrev, rhoCur)
+		copy(lambdaPrev, lambdaCur)
+	}
+	return steps
+}
+
+// PredictSubrounds returns the idealized subround count at which subtable
+// peeling of an n-vertex instance completes: the smallest subround index
+// (counted across rounds, r per round) after which the expected number of
+// surviving vertices λ′·n drops below 1/2.
+func (p Params) PredictSubrounds(n float64, maxRounds int) (subrounds int, ok bool) {
+	steps := p.SubtableTrace(maxRounds)
+	for idx, s := range steps {
+		if s.MixedFra*n < 0.5 {
+			return idx + 1, true
+		}
+	}
+	return len(steps), false
+}
+
+// SubtableTheoreticalSubrounds returns the Theorem 4 leading term
+// r/(r·log φ_{r−1} + log(k−1)) · log log n, where φ_{r−1} must be supplied
+// by the caller (see internal/fib.GrowthRate), keeping this package free
+// of that dependency.
+func (p Params) SubtableTheoreticalSubrounds(n, phi float64) float64 {
+	return float64(p.R) / (float64(p.R)*math.Log(phi) + math.Log(float64(p.K-1))) * math.Log(math.Log(n))
+}

@@ -1,0 +1,307 @@
+package recurrence
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fib"
+	"repro/internal/threshold"
+)
+
+// Table 2 of the paper, left column: idealized predictions λ_t·10⁶ for
+// r=4, k=2, c=0.7. The t=13 entry is 0.00001 and later entries are 0.
+var table2C070 = []float64{
+	768922, 673647, 608076, 553064, 500466, 444828,
+	380873, 302531, 204442, 93245, 14159, 74,
+}
+
+// Table 2, right column: λ_t·10⁶ for c=0.85 (above threshold).
+var table2C085 = []float64{
+	853158, 811184, 793026, 784269, 779841, 777550, 776350, 775719,
+	775385, 775209, 775115, 775066, 775039, 775025, 775018, 775014,
+	775012, 775011, 775010, 775010,
+}
+
+func TestTraceMatchesTable2Below(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	steps := p.Trace(20)
+	for i, want := range table2C070 {
+		got := steps[i].Lambda * 1e6
+		// The paper prints rounded integers; allow 0.6 absolute slack
+		// plus a tiny relative term for the larger entries.
+		if math.Abs(got-want) > 0.6+1e-5*want {
+			t.Errorf("round %d: λ·1e6 = %.3f, want %v", i+1, got, want)
+		}
+	}
+	// Round 13 prediction is ~0.00001 (paper), and later rounds are ~0.
+	if got := steps[12].Lambda * 1e6; got > 1e-3 || got <= 0 {
+		t.Errorf("round 13: λ·1e6 = %g, want ~1e-5", got)
+	}
+	for i := 13; i < 20; i++ {
+		if got := steps[i].Lambda * 1e6; got > 1e-9 {
+			t.Errorf("round %d: λ·1e6 = %g, want ~0", i+1, got)
+		}
+	}
+}
+
+func TestTraceMatchesTable2Above(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.85}
+	steps := p.Trace(20)
+	for i, want := range table2C085 {
+		got := steps[i].Lambda * 1e6
+		if math.Abs(got-want) > 0.6+1e-5*want {
+			t.Errorf("round %d: λ·1e6 = %.3f, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestLambdaMonotoneNonincreasing(t *testing.T) {
+	for _, c := range []float64{0.5, 0.7, 0.77, 0.85, 1.2} {
+		p := Params{K: 2, R: 4, C: c}
+		steps := p.Trace(60)
+		for i := 1; i < len(steps); i++ {
+			if steps[i].Lambda > steps[i-1].Lambda+1e-12 {
+				t.Errorf("c=%v: λ increased at round %d (%v -> %v)",
+					c, i+1, steps[i-1].Lambda, steps[i].Lambda)
+			}
+			if steps[i].Beta > steps[i-1].Beta+1e-12 {
+				t.Errorf("c=%v: β increased at round %d", c, i+1)
+			}
+		}
+	}
+}
+
+func TestRegimeSplit(t *testing.T) {
+	// Below threshold λ -> 0; above threshold λ -> CoreFraction > 0.
+	below := Params{K: 2, R: 4, C: 0.7}
+	if l := below.Lambda(60); l > 1e-12 {
+		t.Errorf("below threshold λ_60 = %g, want ~0", l)
+	}
+	above := Params{K: 2, R: 4, C: 0.85}
+	l := above.Lambda(200)
+	want := threshold.CoreFraction(2, 4, 0.85)
+	if math.Abs(l-want) > 1e-6 {
+		t.Errorf("above threshold λ_200 = %v, want core fraction %v", l, want)
+	}
+}
+
+func TestPredictRoundsMatchesTable1(t *testing.T) {
+	// Table 1: at c=0.7 the empirical round count converges to 13.000 for
+	// n >= 160000, and at c=0.75 to ~23.3-23.8 for n up to 2.56M.
+	p := Params{K: 2, R: 4, C: 0.7}
+	for _, n := range []float64{160000, 320000, 1e6, 2.56e6} {
+		rounds, ok := p.PredictRounds(n, 100)
+		if !ok || rounds != 13 {
+			t.Errorf("PredictRounds(c=0.7, n=%g) = %d (ok=%v), want 13", n, rounds, ok)
+		}
+	}
+	p = Params{K: 2, R: 4, C: 0.75}
+	rounds, ok := p.PredictRounds(1e6, 200)
+	if !ok || rounds < 23 || rounds > 25 {
+		t.Errorf("PredictRounds(c=0.75, n=1e6) = %d (ok=%v), want ~23-25", rounds, ok)
+	}
+}
+
+func TestPredictRoundsAboveThresholdNeverFinishes(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.85}
+	_, ok := p.PredictRounds(1e6, 500)
+	if ok {
+		t.Error("PredictRounds above threshold claimed completion")
+	}
+}
+
+func TestPredictRoundsGrowthIsLogLog(t *testing.T) {
+	// Theorem 1: rounds grow like (1/log 3)·log log n for k=2, r=4.
+	// Across n = 1e4 .. 1e12 the increase must track the theory within a
+	// small additive band.
+	p := Params{K: 2, R: 4, C: 0.5}
+	r1, ok1 := p.PredictRounds(1e4, 500)
+	r2, ok2 := p.PredictRounds(1e12, 500)
+	if !ok1 || !ok2 {
+		t.Fatal("prediction did not terminate below threshold")
+	}
+	wantDelta := p.TheoreticalRounds(1e12) - p.TheoreticalRounds(1e4)
+	gotDelta := float64(r2 - r1)
+	if math.Abs(gotDelta-wantDelta) > 1.5 {
+		t.Errorf("round growth %v vs theory %v (r1=%d r2=%d)", gotDelta, wantDelta, r1, r2)
+	}
+}
+
+func TestRoundsUntilBetaBelowScalesAsSqrtInvNu(t *testing.T) {
+	// Theorem 5: the number of rounds before β falls below a fixed τ < x*
+	// scales as Θ(√(1/ν)). Quartering ν should roughly double the count.
+	cstar, xstar := threshold.Threshold(2, 4)
+	tau := xstar / 2
+	counts := make([]float64, 0, 3)
+	for _, nu := range []float64{0.01, 0.0025, 0.000625} {
+		p := Params{K: 2, R: 4, C: cstar - nu}
+		r, ok := p.RoundsUntilBetaBelow(tau, 1<<20)
+		if !ok {
+			t.Fatalf("β never fell below τ at ν=%v", nu)
+		}
+		counts = append(counts, float64(r))
+	}
+	for i := 1; i < len(counts); i++ {
+		ratio := counts[i] / counts[i-1]
+		if ratio < 1.6 || ratio > 2.4 {
+			t.Errorf("quartering ν multiplied rounds by %.2f, want ~2 (counts %v)", ratio, counts)
+		}
+	}
+}
+
+func TestBetaTracePlateau(t *testing.T) {
+	// Figure 1: just below the threshold the β series has a long plateau
+	// near x* before collapsing. The closer c is to c*, the longer the
+	// plateau (≥ the trace for the farther density, pointwise in length).
+	pFar := Params{K: 2, R: 4, C: 0.77}
+	pNear := Params{K: 2, R: 4, C: 0.772}
+	far, okF := pFar.RoundsUntilBetaBelow(0.5, 100000)
+	near, okN := pNear.RoundsUntilBetaBelow(0.5, 100000)
+	if !okF || !okN {
+		t.Fatal("β did not collapse below threshold")
+	}
+	if near <= far {
+		t.Errorf("plateau at c=0.772 (%d rounds) should exceed c=0.77 (%d)", near, far)
+	}
+	if far < 10 {
+		t.Errorf("plateau at c=0.77 suspiciously short: %d rounds", far)
+	}
+}
+
+// Table 6 of the paper: λ′_{i,j}·10⁶ predictions for r=4, k=2, c=0.7,
+// in subround order (i=1..7, j=1..4).
+var table6Predictions = []float64{
+	942230, 876807, 801855, 714875,
+	678767, 643070, 609686, 581912,
+	554402, 527335, 500469, 472470,
+	442874, 410958, 375770, 336458,
+	292159, 242396, 187891, 131789,
+	80372, 40582, 15481, 3649,
+	348, 6, 0.003, 0,
+}
+
+func TestSubtableTraceMatchesTable6(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	steps := p.SubtableTrace(7)
+	if len(steps) != 28 {
+		t.Fatalf("trace length %d, want 28", len(steps))
+	}
+	for idx, want := range table6Predictions {
+		got := steps[idx].MixedFra * 1e6
+		tol := 0.6 + 2e-5*want
+		if want < 1 { // the 0.003 and 0 entries
+			tol = 0.05
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("subround (%d,%d): λ′·1e6 = %.3f, want %v",
+				steps[idx].Round, steps[idx].Subtable, got, want)
+		}
+	}
+}
+
+func TestSubtableFirstSubroundMatchesPlain(t *testing.T) {
+	// Subround (1,1) sees the untouched graph, so β_{1,1} = rc and
+	// λ_{1,1} equals the plain recurrence's λ_1.
+	p := Params{K: 2, R: 4, C: 0.7}
+	sub := p.SubtableTrace(1)
+	plain := p.Trace(1)
+	if math.Abs(sub[0].Beta-plain[0].Beta) > 1e-12 {
+		t.Errorf("β_{1,1} = %v, want %v", sub[0].Beta, plain[0].Beta)
+	}
+	if math.Abs(sub[0].Lambda-plain[0].Lambda) > 1e-12 {
+		t.Errorf("λ_{1,1} = %v, want %v", sub[0].Lambda, plain[0].Lambda)
+	}
+}
+
+func TestSubtableMixedFractionMonotone(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	steps := p.SubtableTrace(10)
+	for i := 1; i < len(steps); i++ {
+		if steps[i].MixedFra > steps[i-1].MixedFra+1e-12 {
+			t.Errorf("λ′ increased at subround %d", i)
+		}
+	}
+}
+
+func TestPredictSubroundsVsRounds(t *testing.T) {
+	// Appendix B simulations: at c=0.7, n up to 2.56M the subround count
+	// is ~26-27 versus 13 plain rounds — about a factor 2, and well below
+	// the naive factor r = 4.
+	p := Params{K: 2, R: 4, C: 0.7}
+	sub, ok := p.PredictSubrounds(1e6, 60)
+	if !ok {
+		t.Fatal("subtable prediction did not terminate")
+	}
+	plain, _ := p.PredictRounds(1e6, 60)
+	if sub < 24 || sub > 29 {
+		t.Errorf("predicted subrounds = %d, want ~26-27", sub)
+	}
+	ratio := float64(sub) / float64(plain)
+	if ratio >= float64(p.R) {
+		t.Errorf("subround/round ratio %v should be far below r = %d", ratio, p.R)
+	}
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("subround/round ratio %v, want ~2", ratio)
+	}
+}
+
+func TestPredictSubroundsC075(t *testing.T) {
+	// Table 5: c = 0.75 needs ~47.7-48.2 subrounds at large n.
+	p := Params{K: 2, R: 4, C: 0.75}
+	sub, ok := p.PredictSubrounds(1e6, 100)
+	if !ok {
+		t.Fatal("subtable prediction did not terminate")
+	}
+	if sub < 45 || sub > 51 {
+		t.Errorf("predicted subrounds = %d, want ~48", sub)
+	}
+}
+
+func TestSubtableTheoreticalSubrounds(t *testing.T) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	phi := fib.GrowthRate(3)
+	got := p.SubtableTheoreticalSubrounds(1e6, phi)
+	want := fib.SubroundLeadConstant(2, 4) * math.Log(math.Log(1e6))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("theoretical subrounds %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{{K: 1, R: 3, C: 0.5}, {K: 3, R: 1, C: 0.5}, {K: 2, R: 4, C: -1}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if err := (Params{K: 2, R: 4, C: 0.7}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestHigherKR(t *testing.T) {
+	// k=3, r=3 below its threshold 1.553: recurrence must collapse.
+	p := Params{K: 3, R: 3, C: 1.4}
+	if l := p.Lambda(80); l > 1e-9 {
+		t.Errorf("k=3 r=3 c=1.4: λ_80 = %g, want ~0", l)
+	}
+	// And above: stuck at a positive fraction.
+	p = Params{K: 3, R: 3, C: 1.65}
+	if l := p.Lambda(300); l < 0.1 {
+		t.Errorf("k=3 r=3 c=1.65: λ_300 = %g, want bounded away from 0", l)
+	}
+}
+
+func BenchmarkTrace20(b *testing.B) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	for i := 0; i < b.N; i++ {
+		p.Trace(20)
+	}
+}
+
+func BenchmarkSubtableTrace7(b *testing.B) {
+	p := Params{K: 2, R: 4, C: 0.7}
+	for i := 0; i < b.N; i++ {
+		p.SubtableTrace(7)
+	}
+}

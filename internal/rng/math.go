@@ -1,0 +1,11 @@
+package rng
+
+import "math"
+
+// Thin indirections keep the sampler code readable while making the
+// dependence on the math package explicit in one place.
+
+func mathExp(x float64) float64   { return math.Exp(x) }
+func mathLog(x float64) float64   { return math.Log(x) }
+func mathLog1p(x float64) float64 { return math.Log1p(x) }
+func mathFloor(x float64) float64 { return math.Floor(x) }

@@ -1,0 +1,248 @@
+// Package rng provides fast, seedable pseudo-random number generation for
+// the simulation hot paths in this repository.
+//
+// The generator is xoshiro256**, seeded through SplitMix64 so that any
+// 64-bit seed yields a well-mixed initial state. The package also provides
+// the derived samplers the peeling experiments need: uniform integers
+// without modulo bias (Lemire's method), floats in [0,1), Poisson variates,
+// Fisher-Yates shuffles, and r-distinct-vertex tuples.
+//
+// Every experiment in this repository derives per-trial generators from a
+// base seed via NewStream, so all reported numbers are reproducible.
+package rng
+
+import "math/bits"
+
+// SplitMix64 advances the given state and returns the next value of the
+// SplitMix64 sequence. It is used for seeding and for cheap one-off hashes.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed hash of x. It is the finalizer of SplitMix64
+// and passes standard avalanche tests; it is used to derive independent
+// hash functions from (seed, index) pairs.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RNG is a xoshiro256** generator. The zero value is not usable; construct
+// with New or NewStream.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// NewStream returns a generator for stream index idx derived from a base
+// seed. Distinct (seed, idx) pairs give statistically independent streams,
+// which the trial runners use for per-trial reproducibility.
+func NewStream(seed, idx uint64) *RNG {
+	return New(seed ^ Mix64(idx+0x632be59bd9b4e019))
+}
+
+// Seed resets the generator state from a single 64-bit seed.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	r.s0 = SplitMix64(&sm)
+	r.s1 = SplitMix64(&sm)
+	r.s2 = SplitMix64(&sm)
+	r.s3 = SplitMix64(&sm)
+	// xoshiro must not start at the all-zero state.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s3 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Uint64n returns a uniform value in [0, n) without modulo bias using
+// Lemire's multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Int31n with n <= 0")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func (r *RNG) Shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Shuffle32 permutes xs uniformly at random in place.
+func (r *RNG) Shuffle32(xs []uint32) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// poissonChunk bounds the per-step mean of the product method so that
+// exp(-mean) stays comfortably inside float64 range.
+const poissonChunk = 30.0
+
+// Poisson returns a Poisson(mean) variate using Knuth's product method,
+// splitting large means into chunks via the additivity of the Poisson
+// distribution (Poisson(a+b) = Poisson(a) + Poisson(b) for independent
+// summands). Means in the peeling experiments are O(rc), i.e. small, so
+// the chunked product method is both exact and fast. It panics on negative
+// mean; mean 0 returns 0.
+func (r *RNG) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("rng: Poisson with negative mean")
+	}
+	total := 0
+	for mean > poissonChunk {
+		total += r.poissonSmall(poissonChunk)
+		mean -= poissonChunk
+	}
+	return total + r.poissonSmall(mean)
+}
+
+func (r *RNG) poissonSmall(mean float64) int {
+	if mean == 0 {
+		return 0
+	}
+	// exp(-mean) with mean <= poissonChunk is >= 9.4e-14, safely normal.
+	limit := expNeg(mean)
+	k := 0
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// expNeg computes e^-x for 0 <= x <= poissonChunk via a short range
+// reduction (keeps internal/rng free of math imports is not a goal; this
+// simply documents the valid domain).
+func expNeg(x float64) float64 {
+	// math.Exp is fine here; wrapped for the domain comment above.
+	return mathExp(-x)
+}
+
+// SampleDistinct fills dst with len(dst) distinct uniform values in [0, n).
+// It uses rejection against the partially filled prefix, which is the right
+// tool for the tiny tuple sizes (r <= 8) used for hypergraph edges. It
+// panics if len(dst) > n.
+func (r *RNG) SampleDistinct(dst []uint32, n uint32) {
+	if uint32(len(dst)) > n {
+		panic("rng: SampleDistinct tuple larger than universe")
+	}
+	for i := range dst {
+	retry:
+		v := uint32(r.Uint64n(uint64(n)))
+		for j := 0; j < i; j++ {
+			if dst[j] == v {
+				goto retry
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// Binomial returns a Binomial(n, p) variate. For the small n·p regime used
+// in tests it uses direct Bernoulli summation when n is small and a
+// Poisson-inversion-free waiting-time method otherwise (geometric skips),
+// which runs in O(np + 1) expected time.
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case p <= 0 || n <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Waiting-time method: skip lengths between successes are geometric.
+	lnq := mathLog1p(-p)
+	k := 0
+	i := 0
+	for {
+		skip := int(mathFloor(mathLog(1-r.Float64()) / lnq))
+		i += skip + 1
+		if i > n {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,312 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for the SplitMix64 sequence from seed 0
+	// (cross-checked against the canonical C implementation).
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Errorf("SplitMix64 step %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 200
+	base := uint64(0x12345678abcdef)
+	total := 0
+	for i := 0; i < trials; i++ {
+		x := base + uint64(i)*0x9e3779b97f4a7c15
+		for bit := 0; bit < 64; bit += 7 {
+			d := Mix64(x) ^ Mix64(x^(1<<bit))
+			total += popcount(d)
+		}
+	}
+	per := float64(total) / float64(trials*10)
+	if per < 24 || per > 40 {
+		t.Errorf("Mix64 avalanche: mean flipped bits %.2f, want near 32", per)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestNewZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("seed-0 generator produced %d distinct values out of 100", len(seen))
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := NewStream(42, 0)
+	b := NewStream(42, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("streams 0 and 1 collided on %d of 64 outputs", same)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a := New(12345)
+	b := New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(7)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want about %.0f", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %.4f, want 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid element %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(6)
+	xs := []int{1, 2, 2, 3, 5, 8, 13, 21}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(xs)
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset sum: %d != %d", got, sum)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(8)
+	for _, mean := range []float64{0.3, 1.0, 2.8, 3.4, 10, 75} {
+		const trials = 60000
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumsq += v * v
+		}
+		m := sum / trials
+		variance := sumsq/trials - m*m
+		se := math.Sqrt(mean / trials)
+		if math.Abs(m-mean) > 6*se {
+			t.Errorf("Poisson(%v) sample mean %.4f, want %.4f +- %.4f", mean, m, mean, 6*se)
+		}
+		if math.Abs(variance-mean) > 0.15*mean+0.1 {
+			t.Errorf("Poisson(%v) sample variance %.4f, want about %.4f", mean, variance, mean)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d", v)
+		}
+	}
+}
+
+func TestPoissonNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(10)
+	dst := make([]uint32, 4)
+	for trial := 0; trial < 1000; trial++ {
+		r.SampleDistinct(dst, 20)
+		for i := 0; i < len(dst); i++ {
+			if dst[i] >= 20 {
+				t.Fatalf("sample %d out of range", dst[i])
+			}
+			for j := 0; j < i; j++ {
+				if dst[i] == dst[j] {
+					t.Fatalf("duplicate sample %d at positions %d,%d", dst[i], i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSampleDistinctFullUniverse(t *testing.T) {
+	r := New(11)
+	dst := make([]uint32, 5)
+	r.SampleDistinct(dst, 5)
+	var mask uint32
+	for _, v := range dst {
+		mask |= 1 << v
+	}
+	if mask != 0x1f {
+		t.Errorf("full-universe sample missed values: mask %#x", mask)
+	}
+}
+
+func TestSampleDistinctPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized SampleDistinct did not panic")
+		}
+	}()
+	New(1).SampleDistinct(make([]uint32, 3), 2)
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(12)
+	cases := []struct {
+		n int
+		p float64
+	}{{50, 0.3}, {1000, 0.01}, {100000, 0.0002}, {10, 1}, {10, 0}}
+	for _, c := range cases {
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			v := r.Binomial(c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / trials
+		want := float64(c.n) * c.p
+		tol := 6*math.Sqrt(want*(1-c.p)/trials) + 1e-9
+		if math.Abs(mean-want) > tol {
+			t.Errorf("Binomial(%d,%v) mean %.3f, want %.3f +- %.3f", c.n, c.p, mean, want, tol)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonMean3(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(2.8)
+	}
+	_ = sink
+}
+
+func BenchmarkSampleDistinct4(b *testing.B) {
+	r := New(1)
+	dst := make([]uint32, 4)
+	for i := 0; i < b.N; i++ {
+		r.SampleDistinct(dst, 1<<20)
+	}
+}

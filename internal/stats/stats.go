@@ -1,0 +1,127 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics, a reproducible multi-trial runner,
+// and least-squares line fitting (for verifying the log n / log log n
+// round-growth laws of Theorems 1 and 3).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Summary holds the usual scalar statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary; it returns the zero value for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Std / math.Sqrt(float64(s.N))
+}
+
+// Trials runs fn(trial, gen) for trials independent trials with
+// per-trial generators derived from seed, returning the collected values.
+// Results are reproducible: trial i always receives stream (seed, i).
+func Trials(trials int, seed uint64, fn func(trial int, gen *rng.RNG) float64) []float64 {
+	out := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		out[i] = fn(i, rng.NewStream(seed, uint64(i)))
+	}
+	return out
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x. It
+// panics if the lengths differ and returns a zero slope for fewer than
+// two points.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		if len(x) == 1 {
+			return 0, y[0]
+		}
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// Correlation returns the Pearson correlation coefficient of x and y
+// (0 for degenerate inputs).
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	sx := Summarize(x)
+	sy := Summarize(y)
+	if sx.Std == 0 || sy.Std == 0 {
+		return 0
+	}
+	cov := 0.0
+	for i := range x {
+		cov += (x[i] - sx.Mean) * (y[i] - sy.Mean)
+	}
+	cov /= float64(len(x) - 1)
+	return cov / (sx.Std * sy.Std)
+}

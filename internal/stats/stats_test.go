@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Errorf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("singleton summary %+v", s)
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	want := s.Std / 3
+	if math.Abs(s.StdErr()-want) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", s.StdErr(), want)
+	}
+}
+
+func TestTrialsReproducible(t *testing.T) {
+	run := func() []float64 {
+		return Trials(10, 42, func(trial int, gen *rng.RNG) float64 {
+			return gen.Float64() + float64(trial)
+		})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d not reproducible", i)
+		}
+	}
+	// Different trials see different streams.
+	if a[0] == a[1]-1 {
+		t.Error("adjacent trials appear to share a stream")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-3) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (2, 3)", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, i := LinearFit(nil, nil); s != 0 || i != 0 {
+		t.Error("empty fit nonzero")
+	}
+	if s, i := LinearFit([]float64{2}, []float64{9}); s != 0 || i != 9 {
+		t.Errorf("singleton fit (%v, %v)", s, i)
+	}
+	// Constant x: slope undefined, return mean intercept.
+	s, i := LinearFit([]float64{1, 1, 1}, []float64{2, 4, 6})
+	if s != 0 || math.Abs(i-4) > 1e-12 {
+		t.Errorf("constant-x fit (%v, %v)", s, i)
+	}
+}
+
+func TestLinearFitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if c := Correlation(x, x); math.Abs(c-1) > 1e-12 {
+		t.Errorf("self correlation %v", c)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if c := Correlation(x, neg); math.Abs(c+1) > 1e-12 {
+		t.Errorf("anti correlation %v", c)
+	}
+	if c := Correlation(x, []float64{1, 1, 1, 1, 1}); c != 0 {
+		t.Errorf("degenerate correlation %v", c)
+	}
+}
+
+func TestSummarizeQuickInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological inputs: NaN/Inf, and magnitudes where the
+			// running sum itself overflows float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package threshold computes the k-core appearance thresholds c*(k,r) for
+// random r-uniform hypergraphs, following Equation (2.1) of Jiang,
+// Mitzenmacher, and Thaler (SPAA 2014), which in turn is due to Molloy:
+//
+//	c*(k,r) = min_{x>0}  x / ( r * (1 - e^{-x} Σ_{j=0..k-2} x^j/j!)^{r-1} )
+//
+// Below c*(k,r) the k-core of G^r_{n,cn} is empty with high probability and
+// parallel peeling finishes in O(log log n) rounds; above it the k-core is
+// non-empty and peeling needs Ω(log n) rounds.
+//
+// The package also exposes the argmin x*, the derivative f'(0) from
+// Equation (4.3) that governs the geometric convergence rate above the
+// threshold, and the fixed point β̂ of the density recursion.
+package threshold
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/poisson"
+)
+
+// Objective returns the function minimized in Equation (2.1) at x:
+// x / (r * Pr(Poisson(x) >= k-1)^{r-1}). It is +Inf at x <= 0.
+func Objective(k, r int, x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	den := poisson.RegularizedTail(k-2, x)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return x / (float64(r) * math.Pow(den, float64(r-1)))
+}
+
+// validate panics on parameter combinations the paper excludes. The theory
+// requires k, r >= 2 and k+r >= 5 (the case k = r = 2 is the classical
+// 2-core of a graph and behaves differently).
+func validate(k, r int) {
+	if k < 2 || r < 2 {
+		panic(fmt.Sprintf("threshold: need k, r >= 2, got k=%d r=%d", k, r))
+	}
+}
+
+// Threshold returns c*(k,r) and the minimizing x*. It panics if k < 2 or
+// r < 2. For k = r = 2 the objective's infimum is approached as x -> 0
+// (the well-known c* = 1/2 for 2-cores of graphs is not produced by this
+// formula); callers should treat that case separately, as the paper does.
+func Threshold(k, r int) (cstar, xstar float64) {
+	validate(k, r)
+
+	// Bracket the minimum on a geometric grid, then refine with
+	// golden-section search. The objective diverges at both ends
+	// (like x^{2-r or 2-k} near 0 and like x/r at infinity), so a
+	// three-point bracket always exists for k+r >= 5.
+	const (
+		gridLo  = 1e-4
+		gridHi  = 1e4
+		gridMul = 1.05
+	)
+	bestX, bestF := 0.0, math.Inf(1)
+	for x := gridLo; x <= gridHi; x *= gridMul {
+		if f := Objective(k, r, x); f < bestF {
+			bestF, bestX = f, x
+		}
+	}
+	lo, hi := bestX/gridMul, bestX*gridMul
+	xstar = goldenSection(func(x float64) float64 { return Objective(k, r, x) }, lo, hi, 1e-13)
+	return Objective(k, r, xstar), xstar
+}
+
+// goldenSection minimizes f on [lo, hi] assuming unimodality, stopping when
+// the bracket is narrower than tol relative to its midpoint.
+func goldenSection(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol*(math.Abs(a)+math.Abs(b)+1e-300) {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Gap returns ν = c*(k,r) − c, the distance from the threshold. Positive
+// gaps mean c is below the threshold (peeling succeeds w.h.p.); Theorem 5
+// shows the below-threshold round count carries an additive Θ(√(1/ν)) term.
+func Gap(k, r int, c float64) float64 {
+	cstar, _ := Threshold(k, r)
+	return cstar - c
+}
+
+// BetaFixedPoint returns the largest fixed point β̂ of the density map
+//
+//	g(β) = rc * Pr(Poisson(β) >= k-1)^{r-1}
+//
+// (Equation (4.1)). Above the threshold β̂ > 0 and the k-core contains a
+// λ̂ = Pr(Poisson(β̂) >= k) fraction of vertices; below the threshold the
+// iteration collapses to 0. Iteration starts from β = rc, the round-1
+// value, and is monotone decreasing, so convergence is guaranteed.
+func BetaFixedPoint(k, r int, c float64) float64 {
+	validate(k, r)
+	rc := float64(r) * c
+	beta := rc
+	for i := 0; i < 100000; i++ {
+		next := rc * math.Pow(poisson.RegularizedTail(k-2, beta), float64(r-1))
+		if math.Abs(next-beta) < 1e-15*(1+beta) {
+			return next
+		}
+		beta = next
+	}
+	return beta
+}
+
+// CoreFraction returns λ̂ = Pr(Poisson(β̂) >= k), the limiting fraction of
+// vertices in the k-core (0 below the threshold, per Theorem 3 the core
+// has size λ̂·n + o(n) above it).
+func CoreFraction(k, r int, c float64) float64 {
+	return poisson.Tail(k, BetaFixedPoint(k, r, c))
+}
+
+// FPrime0 evaluates Equation (4.3): the derivative of the one-round density
+// map g(β) = rc·Pr(Poisson(β) >= k-1)^{r-1} at its fixed point β̂,
+//
+//	g'(β̂) = rc (r-1) (1 - e^{-β̂} S(k-2, β̂))^{r-2} · e^{-β̂} β̂^{k-2}/(k-2)!
+//
+// which, using the fixed-point identity rc·(...)^{r-1} = β̂, is exactly the
+// paper's form (4.3). We evaluate the g' form because it stays well defined
+// as β̂ -> 0 (the paper's substituted form is 0/0 there for k = 2).
+//
+// Above the threshold 0 < f'(0) < 1 and the per-round gap δ_i shrinks by
+// exactly this factor, which is the engine of the Ω(log n) lower bound.
+// Below the threshold β̂ = 0 and f'(0) = 0 — the regime change the paper
+// highlights.
+func FPrime0(k, r int, c float64) float64 {
+	beta := BetaFixedPoint(k, r, c)
+	if beta < 1e-12 {
+		return 0
+	}
+	den := poisson.RegularizedTail(k-2, beta)
+	km2Fact := 1.0
+	for j := 2; j <= k-2; j++ {
+		km2Fact *= float64(j)
+	}
+	rc := float64(r) * c
+	return rc * float64(r-1) * math.Pow(den, float64(r-2)) *
+		math.Exp(-beta) * math.Pow(beta, float64(k-2)) / km2Fact
+}
+
+// RoundLeadConstant returns 1/log((k-1)(r-1)), the leading constant of the
+// below-threshold round bound of Theorems 1-2. It panics for k=r=2, where
+// (k-1)(r-1) = 1 and the theorem does not apply.
+func RoundLeadConstant(k, r int) float64 {
+	validate(k, r)
+	prod := float64((k - 1) * (r - 1))
+	if prod <= 1 {
+		panic("threshold: round constant undefined for k = r = 2")
+	}
+	return 1 / math.Log(prod)
+}
+
+// GaoLeadConstant returns 1/log(k(r-1)/r), the leading constant obtained
+// by Gao's alternative (shorter) proof of the below-threshold upper
+// bound, which the paper's introduction compares against its own sharper
+// constant: RoundLeadConstant(k, r) <= GaoLeadConstant(k, r), with
+// equality never attained for valid parameters. Panics when
+// k(r-1)/r <= 1, where Gao's bound is vacuous.
+func GaoLeadConstant(k, r int) float64 {
+	validate(k, r)
+	ratio := float64(k) * float64(r-1) / float64(r)
+	if ratio <= 1 {
+		panic("threshold: Gao constant undefined for k(r-1) <= r")
+	}
+	return 1 / math.Log(ratio)
+}

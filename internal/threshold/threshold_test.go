@@ -1,0 +1,240 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThresholdPaperValues(t *testing.T) {
+	// Section 2 of the paper: c*_{2,3} ~ 0.818, c*_{2,4} ~ 0.772,
+	// c*_{3,3} ~ 1.553. Section 7 refines c*_{2,4} ~ 0.77228.
+	cases := []struct {
+		k, r int
+		want float64
+		tol  float64
+	}{
+		{2, 3, 0.818, 0.001},
+		{2, 4, 0.77228, 0.0001},
+		{3, 3, 1.553, 0.001},
+	}
+	for _, c := range cases {
+		got, _ := Threshold(c.k, c.r)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Threshold(%d,%d) = %.5f, want %.5f +- %v", c.k, c.r, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestThresholdKnownLiteratureValues(t *testing.T) {
+	// Cross-checks against the peelability literature (these are the
+	// "1/γ" constants for r-uniform peelable hypergraphs):
+	// c*_{2,5} ~ 0.70178, c*_{2,6} ~ 0.63708.
+	cases := []struct {
+		k, r int
+		want float64
+	}{
+		{2, 5, 0.70178},
+		{2, 6, 0.63708},
+	}
+	for _, c := range cases {
+		got, _ := Threshold(c.k, c.r)
+		if math.Abs(got-c.want) > 0.001 {
+			t.Errorf("Threshold(%d,%d) = %.5f, want %.5f", c.k, c.r, got, c.want)
+		}
+	}
+}
+
+func TestThresholdMatchesFixedPointTransition(t *testing.T) {
+	// Independent oracle: c*(k,r) is where the density recursion's fixed
+	// point transitions from 0 to positive. Locate that transition by
+	// bisection on c and compare with the variational formula (2.1).
+	for _, pr := range []struct{ k, r int }{{2, 3}, {2, 4}, {3, 3}, {3, 4}, {4, 3}} {
+		lo, hi := 0.01, 5.0
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if BetaFixedPoint(pr.k, pr.r, mid) > 1e-6 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		transition := (lo + hi) / 2
+		cstar, _ := Threshold(pr.k, pr.r)
+		if math.Abs(transition-cstar) > 5e-4 {
+			t.Errorf("k=%d r=%d: fixed-point transition at %.5f, Threshold says %.5f",
+				pr.k, pr.r, transition, cstar)
+		}
+	}
+}
+
+func TestThresholdArgminIsStationary(t *testing.T) {
+	for _, c := range []struct{ k, r int }{{2, 3}, {2, 4}, {3, 3}, {3, 4}, {4, 5}} {
+		cstar, xstar := Threshold(c.k, c.r)
+		// The objective at points near x* must not be smaller.
+		for _, dx := range []float64{-1e-3, 1e-3, -1e-2, 1e-2} {
+			if f := Objective(c.k, c.r, xstar+dx); f < cstar-1e-9 {
+				t.Errorf("k=%d r=%d: Objective(x*%+g) = %.9f < c* = %.9f", c.k, c.r, dx, f, cstar)
+			}
+		}
+	}
+}
+
+func TestObjectiveBoundary(t *testing.T) {
+	if f := Objective(2, 4, 0); !math.IsInf(f, 1) {
+		t.Errorf("Objective at x=0 = %v, want +Inf", f)
+	}
+	if f := Objective(2, 4, -1); !math.IsInf(f, 1) {
+		t.Errorf("Objective at x<0 = %v, want +Inf", f)
+	}
+}
+
+func TestThresholdPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ k, r int }{{1, 3}, {3, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Threshold(%d,%d) did not panic", c.k, c.r)
+				}
+			}()
+			Threshold(c.k, c.r)
+		}()
+	}
+}
+
+func TestGapSign(t *testing.T) {
+	if g := Gap(2, 4, 0.7); g <= 0 {
+		t.Errorf("Gap(2,4,0.7) = %v, want positive (below threshold)", g)
+	}
+	if g := Gap(2, 4, 0.85); g >= 0 {
+		t.Errorf("Gap(2,4,0.85) = %v, want negative (above threshold)", g)
+	}
+}
+
+func TestBetaFixedPointRegimes(t *testing.T) {
+	// Below the threshold the fixed point collapses to ~0; above it is
+	// strictly positive (Theorem 3 / Molloy).
+	if b := BetaFixedPoint(2, 4, 0.7); b > 1e-8 {
+		t.Errorf("BetaFixedPoint below threshold = %v, want ~0", b)
+	}
+	b := BetaFixedPoint(2, 4, 0.85)
+	if b < 0.5 {
+		t.Errorf("BetaFixedPoint above threshold = %v, want substantially positive", b)
+	}
+	// It must actually be a fixed point of the density map.
+	next := 4 * 0.85 * math.Pow(1-math.Exp(-b), 3)
+	if math.Abs(next-b) > 1e-9 {
+		t.Errorf("fixed point violated: g(%v) = %v", b, next)
+	}
+}
+
+func TestCoreFractionMatchesTable2Limit(t *testing.T) {
+	// Table 2 (c = 0.85): the survivor counts converge to 775010 out of
+	// 1e6, so the limiting core fraction is ~0.775010.
+	got := CoreFraction(2, 4, 0.85)
+	if math.Abs(got-0.775010) > 2e-5 {
+		t.Errorf("CoreFraction(2,4,0.85) = %.6f, want ~0.775010", got)
+	}
+	if below := CoreFraction(2, 4, 0.7); below > 1e-6 {
+		t.Errorf("CoreFraction below threshold = %v, want ~0", below)
+	}
+}
+
+func TestFPrime0Regimes(t *testing.T) {
+	// Equation (4.4): 0 < f'(0) < 1 above the threshold; f'(0) = 0 below.
+	if fp := FPrime0(2, 4, 0.7); fp != 0 {
+		t.Errorf("FPrime0 below threshold = %v, want 0", fp)
+	}
+	fp := FPrime0(2, 4, 0.85)
+	if fp <= 0 || fp >= 1 {
+		t.Errorf("FPrime0(2,4,0.85) = %v, want in (0,1)", fp)
+	}
+	// Closer to the threshold the contraction factor approaches 1
+	// (this is why rounds blow up near c*).
+	fpNear := FPrime0(2, 4, 0.78)
+	if fpNear <= fp {
+		t.Errorf("FPrime0 nearer threshold (%v) should exceed farther (%v)", fpNear, fp)
+	}
+}
+
+func TestFPrime0IsDerivativeOfDensityMap(t *testing.T) {
+	// Numerically differentiate g(β) = rc·Pr(Poisson(β)>=k-1)^{r-1} at β̂
+	// and compare with the closed form (4.3).
+	k, r, c := 2, 4, 0.85
+	beta := BetaFixedPoint(k, r, c)
+	g := func(b float64) float64 {
+		return float64(r) * c * math.Pow(1-math.Exp(-b), float64(r-1))
+	}
+	h := 1e-6
+	numeric := (g(beta+h) - g(beta-h)) / (2 * h)
+	analytic := FPrime0(k, r, c)
+	if math.Abs(numeric-analytic) > 1e-5 {
+		t.Errorf("f'(0): numeric %v vs analytic %v", numeric, analytic)
+	}
+}
+
+func TestRoundLeadConstant(t *testing.T) {
+	// k=2, r=4: 1/log(3) ~ 0.9102.
+	got := RoundLeadConstant(2, 4)
+	if math.Abs(got-1/math.Log(3)) > 1e-12 {
+		t.Errorf("RoundLeadConstant(2,4) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RoundLeadConstant(2,2) did not panic")
+		}
+	}()
+	RoundLeadConstant(2, 2)
+}
+
+func TestGaoLeadConstant(t *testing.T) {
+	// The introduction's comparison with Gao's subsequent work: her
+	// constant 1/log(k(r-1)/r) exceeds the paper's 1/log((k-1)(r-1))
+	// (a larger constant = a weaker upper bound) for all valid (k, r)
+	// except where both are undefined.
+	for _, c := range []struct{ k, r int }{{2, 3}, {2, 4}, {3, 3}, {3, 4}, {4, 5}} {
+		paper := RoundLeadConstant(c.k, c.r)
+		gao := GaoLeadConstant(c.k, c.r)
+		if gao <= paper {
+			t.Errorf("k=%d r=%d: Gao constant %.4f not larger than paper's %.4f",
+				c.k, c.r, gao, paper)
+		}
+	}
+	// k=2, r=4: 1/log(2·3/4) = 1/log(1.5).
+	want := 1 / math.Log(1.5)
+	if got := GaoLeadConstant(2, 4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GaoLeadConstant(2,4) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GaoLeadConstant(2,2) did not panic")
+		}
+	}()
+	GaoLeadConstant(2, 2) // k(r-1)/r = 1: vacuous
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// c* decreases in r for fixed k=2 (denser edges make cores easier),
+	// and increases in k for fixed r (higher cores need more density).
+	prev := math.Inf(1)
+	for r := 3; r <= 7; r++ {
+		c, _ := Threshold(2, r)
+		if c >= prev {
+			t.Errorf("c*(2,%d) = %v not decreasing (prev %v)", r, c, prev)
+		}
+		prev = c
+	}
+	prev = 0
+	for k := 2; k <= 6; k++ {
+		c, _ := Threshold(k, 3)
+		if c <= prev {
+			t.Errorf("c*(%d,3) = %v not increasing (prev %v)", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Threshold(2, 4)
+	}
+}

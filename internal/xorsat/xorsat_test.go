@@ -1,0 +1,192 @@
+package xorsat
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSolvePeelOnlyRegime(t *testing.T) {
+	// c = 0.7 < c*(2,3) ~ 0.818: the whole system peels; no Gauss needed.
+	gen := rng.New(1)
+	in := Random(20000, 14000, 3, gen)
+	assign, stats, err := in.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !in.Check(assign) {
+		t.Fatal("assignment does not satisfy the system")
+	}
+	if stats.CoreEquations != 0 {
+		t.Errorf("expected empty core below peeling threshold, got %d equations", stats.CoreEquations)
+	}
+	if stats.PeeledEquations != in.M() {
+		t.Errorf("peeled %d of %d equations", stats.PeeledEquations, in.M())
+	}
+}
+
+func TestSolveCoreRegime(t *testing.T) {
+	// 0.818 < c = 0.88 < 0.917: non-empty core but satisfiable w.h.p. —
+	// the regime where Gaussian elimination on the core earns its keep.
+	gen := rng.New(2)
+	in := Random(20000, 17600, 3, gen)
+	assign, stats, err := in.Solve()
+	if err != nil {
+		t.Fatalf("Solve in core regime: %v", err)
+	}
+	if !in.Check(assign) {
+		t.Fatal("assignment does not satisfy the system")
+	}
+	if stats.CoreEquations == 0 {
+		t.Error("expected non-empty core at c=0.88")
+	}
+	if stats.GaussRank <= 0 || stats.GaussRank > stats.CoreEquations {
+		t.Errorf("implausible Gauss rank %d for %d core equations",
+			stats.GaussRank, stats.CoreEquations)
+	}
+}
+
+func TestSolveUnsatisfiableRegime(t *testing.T) {
+	// c = 1.1 > satisfiability threshold (~0.917 for r=3): a random RHS
+	// is almost surely inconsistent.
+	gen := rng.New(3)
+	in := Random(5000, 5500, 3, gen)
+	_, _, err := in.Solve()
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("expected ErrUnsatisfiable at c=1.1, got %v", err)
+	}
+}
+
+func TestSolvePlantedAboveThreshold(t *testing.T) {
+	// Planted instances are satisfiable at any density; the solver must
+	// find some satisfying assignment (not necessarily the planted one).
+	gen := rng.New(4)
+	in, planted := RandomSatisfiable(4000, 4400, 3, gen)
+	if !in.Check(planted) {
+		t.Fatal("planted assignment does not satisfy its own instance")
+	}
+	assign, stats, err := in.Solve()
+	if err != nil {
+		t.Fatalf("Solve on planted instance: %v", err)
+	}
+	if !in.Check(assign) {
+		t.Fatal("solver output fails check")
+	}
+	if stats.CoreEquations == 0 {
+		t.Error("expected non-empty core at c=1.1")
+	}
+}
+
+func TestPeelOnlySolvableThreshold(t *testing.T) {
+	gen := rng.New(5)
+	below := Random(30000, 21000, 3, gen) // c = 0.7
+	if !below.PeelOnlySolvable() {
+		t.Error("peel-only failed below the threshold")
+	}
+	above := Random(30000, 26400, 3, gen) // c = 0.88
+	if above.PeelOnlySolvable() {
+		t.Error("peel-only claimed success above the threshold")
+	}
+}
+
+func TestSolveR4(t *testing.T) {
+	gen := rng.New(6)
+	in := Random(10000, 7000, 4, gen) // c = 0.7 < 0.772
+	assign, stats, err := in.Solve()
+	if err != nil || !in.Check(assign) {
+		t.Fatalf("r=4 solve failed: %v", err)
+	}
+	if stats.CoreEquations != 0 {
+		t.Errorf("r=4 c=0.7: unexpected core of %d equations", stats.CoreEquations)
+	}
+}
+
+func TestCheckRejectsWrongAssignment(t *testing.T) {
+	gen := rng.New(7)
+	in, planted := RandomSatisfiable(100, 80, 3, gen)
+	bad := append([]uint8(nil), planted...)
+	// Flipping one variable that appears in some equation must break it.
+	bad[in.Var[0]] ^= 1
+	if in.Check(bad) {
+		t.Error("Check accepted a corrupted assignment")
+	}
+	if in.Check(planted[:50]) {
+		t.Error("Check accepted a short assignment")
+	}
+}
+
+func TestTinySystems(t *testing.T) {
+	// Hand-built: x0 ^ x1 ^ x2 = 1, x0 ^ x1 ^ x3 = 0.
+	in := &Instance{N: 4, R: 3, Var: []uint32{0, 1, 2, 0, 1, 3}, RHS: []uint8{1, 0}}
+	assign, _, err := in.Solve()
+	if err != nil || !in.Check(assign) {
+		t.Fatalf("tiny system: %v", err)
+	}
+	// Contradictory duplicate: same LHS, different RHS. Variables all have
+	// degree 2, so the whole system is a 2-core and Gauss must reject it.
+	in = &Instance{N: 3, R: 3, Var: []uint32{0, 1, 2, 0, 1, 2}, RHS: []uint8{1, 0}}
+	if _, _, err := in.Solve(); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("contradiction not detected: %v", err)
+	}
+	// Empty system: trivially satisfiable.
+	in = &Instance{N: 5, R: 3, Var: nil, RHS: nil}
+	assign, _, err = in.Solve()
+	if err != nil || len(assign) != 5 {
+		t.Fatalf("empty system: %v", err)
+	}
+}
+
+func TestSolveQuickPlanted(t *testing.T) {
+	// Property: planted instances of any shape are solved, and the
+	// solution verifies.
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%400) + 5
+		m := int(mRaw % 500)
+		in, _ := RandomSatisfiable(n, m, 3, rng.New(seed))
+		assign, _, err := in.Solve()
+		return err == nil && in.Check(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveQuickRandomConsistency(t *testing.T) {
+	// Property: on random instances, Solve either returns a verified
+	// assignment or ErrUnsatisfiable — never a bogus success.
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%300) + 5
+		m := int(mRaw % 450)
+		in := Random(n, m, 3, rng.New(seed))
+		assign, _, err := in.Solve()
+		if err != nil {
+			return errors.Is(err, ErrUnsatisfiable)
+		}
+		return in.Check(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveBelowThreshold(b *testing.B) {
+	in := Random(1<<16, 45000, 3, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCoreRegime(b *testing.B) {
+	in, _ := RandomSatisfiable(1<<14, 14500, 3, rng.New(1)) // c ~ 0.885
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

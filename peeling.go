@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"repro/internal/bloomier"
+	"repro/internal/core"
+	"repro/internal/erasure"
+	"repro/internal/hypergraph"
+	"repro/internal/iblt"
+	"repro/internal/mphf"
+	"repro/internal/recurrence"
+	"repro/internal/rng"
+	"repro/internal/threshold"
+	"repro/internal/xorsat"
+)
+
+// Hypergraph is an immutable r-uniform hypergraph with CSR incidence; see
+// the generator functions below.
+type Hypergraph = hypergraph.Hypergraph
+
+// PeelResult reports rounds, per-round survivor counts, and the residual
+// k-core of a peeling run.
+type PeelResult = core.Result
+
+// SeqPeelResult additionally carries the peel order and the edge → vertex
+// orientation produced by sequential peeling.
+type SeqPeelResult = core.SeqResult
+
+// PeelOptions configures the parallel peelers (scan policy, round cap).
+type PeelOptions = core.Options
+
+// Scan policies for PeelParallelOpts: FrontierScan tracks only vertices
+// whose degree changed (work-efficient); FullScan re-examines every
+// vertex each round (the GPU strategy).
+const (
+	FrontierScan = core.Frontier
+	FullScan     = core.FullScan
+)
+
+// IBLT is an Invertible Bloom Lookup Table with r subtables; see NewIBLT.
+type IBLT = iblt.Table
+
+// IBLTParallelResult reports a parallel IBLT recovery.
+type IBLTParallelResult = iblt.ParallelResult
+
+// ErasureCode is a Biff-style peeling erasure code; see NewErasureCode.
+type ErasureCode = erasure.Code
+
+// ErasureCell is one check symbol of an ErasureCode block.
+type ErasureCell = erasure.Cell
+
+// MPHF is a minimal perfect hash function built by peeling; see BuildMPHF.
+type MPHF = mphf.MPHF
+
+// XORSATInstance is a system of XOR equations; see NewXORSATInstance.
+type XORSATInstance = xorsat.Instance
+
+// RecurrenceParams evaluates the paper's idealized recurrences (survivor
+// fractions λ_t, densities β_t, subtable variants) for a (k, r, c)
+// ensemble.
+type RecurrenceParams = recurrence.Params
+
+// NewUniformHypergraph returns the paper's G^r_{n,m} model: m edges, each
+// a uniform r-subset of [0, n), generated deterministically from seed.
+func NewUniformHypergraph(n, m, r int, seed uint64) *Hypergraph {
+	return hypergraph.Uniform(n, m, r, rng.New(seed))
+}
+
+// NewBinomialHypergraph returns the paper's G^r_c model on n vertices
+// with edge density c (edge count Poisson(cn)).
+func NewBinomialHypergraph(n int, c float64, r int, seed uint64) *Hypergraph {
+	return hypergraph.Binomial(n, c, r, rng.New(seed))
+}
+
+// NewPartitionedHypergraph returns the Appendix B model: n vertices (n
+// divisible by r) split into r subtables, each edge containing one
+// uniform vertex per subtable.
+func NewPartitionedHypergraph(n, m, r int, seed uint64) *Hypergraph {
+	return hypergraph.Partitioned(n, m, r, rng.New(seed))
+}
+
+// Peel runs the classic sequential greedy peel to the k-core, returning
+// the peel order and edge orientation along with the core.
+func Peel(g *Hypergraph, k int) *SeqPeelResult { return core.Sequential(g, k) }
+
+// PeelParallel runs the round-synchronous parallel peeling process the
+// paper analyzes: every round removes all vertices of degree < k at once,
+// across all CPU cores.
+func PeelParallel(g *Hypergraph, k int) *PeelResult {
+	return core.Parallel(g, k, core.Options{})
+}
+
+// PeelParallelOpts is PeelParallel with explicit options.
+func PeelParallelOpts(g *Hypergraph, k int, opts PeelOptions) *PeelResult {
+	return core.Parallel(g, k, opts)
+}
+
+// PeelSubtables runs the Appendix B subround process on a partitioned
+// hypergraph: each round peels the r subtables one after another, each in
+// parallel internally.
+func PeelSubtables(g *Hypergraph, k int) *PeelResult {
+	return core.Subtables(g, k, core.Options{})
+}
+
+// Threshold returns the k-core emptiness threshold c*(k,r) of Equation
+// (2.1) and its argmin x*. Below c*(k,r) peeling empties the core w.h.p.
+func Threshold(k, r int) (cstar, xstar float64) { return threshold.Threshold(k, r) }
+
+// CoreFraction returns the limiting fraction of vertices in the k-core at
+// density c (zero below the threshold).
+func CoreFraction(k, r int, c float64) float64 { return threshold.CoreFraction(k, r, c) }
+
+// PredictRounds returns the idealized number of parallel peeling rounds
+// for an n-vertex instance at parameters p, and whether the recurrence
+// terminates within maxRounds (it does not above the threshold).
+func PredictRounds(p RecurrenceParams, n float64, maxRounds int) (int, bool) {
+	return p.PredictRounds(n, maxRounds)
+}
+
+// NewIBLT returns an empty Invertible Bloom Lookup Table with at least
+// cells cells split into r subtables.
+func NewIBLT(cells, r int, seed uint64) *IBLT { return iblt.New(cells, r, seed) }
+
+// NewErasureCode returns a Biff-style erasure code with the given number
+// of check cells and r hash positions per symbol (r in [3, 8]).
+func NewErasureCode(checkCells, r int, seed uint64) *ErasureCode {
+	return erasure.NewCode(checkCells, r, seed)
+}
+
+// BuildMPHF builds a minimal perfect hash function over distinct keys
+// using γ = 1.23 table overhead (edge density just below c*(2,3)).
+func BuildMPHF(keys []uint64, seed uint64) (*MPHF, error) {
+	return mphf.Build(keys, mphf.DefaultGamma, seed, 10)
+}
+
+// StaticMap is a Bloomier-style static key → value map built by peeling;
+// see BuildStaticMap.
+type StaticMap = bloomier.Filter
+
+// BuildStaticMap builds an immutable map from distinct keys to values in
+// ~1.23 slots per key, with three-hash XOR lookups (Bloomier filter /
+// static function retrieval — reference [4] of the paper).
+func BuildStaticMap(keys, values []uint64, seed uint64) (*StaticMap, error) {
+	return bloomier.Build(keys, values, bloomier.DefaultGamma, seed, 10)
+}
+
+// BuildStaticMapParallel is BuildStaticMap with both construction phases
+// parallelized across cores: subround peeling plus layered reverse
+// back-substitution (the parallel-construction extension enabled by the
+// subtable orientation's layer-dependency guarantee).
+func BuildStaticMapParallel(keys, values []uint64, seed uint64) (*StaticMap, error) {
+	return bloomier.BuildParallel(keys, values, bloomier.DefaultGamma, seed, 10)
+}
+
+// PeelDepths returns, per vertex, the parallel round in which it would be
+// peeled (core.InCore = -1 for k-core members) — the structural "peeling
+// wave" the branching-process analysis models.
+func PeelDepths(g *Hypergraph, k int) []int32 { return core.Depths(g, k) }
+
+// CorenessAll returns each vertex's coreness: the largest k for which the
+// vertex survives in the k-core.
+func CorenessAll(g *Hypergraph) []int32 { return core.Coreness(g) }
+
+// NewRandomXORSAT returns a random r-XORSAT instance with m equations
+// over n variables.
+func NewRandomXORSAT(n, m, r int, seed uint64) *XORSATInstance {
+	return xorsat.Random(n, m, r, rng.New(seed))
+}
+
+// ReconcileSets runs the full two-message IBLT set-reconciliation
+// protocol (strata-estimator sizing + subtracted-table decode) between
+// two key sets, returning each side's private keys and the total bytes a
+// networked deployment would transfer. headroom >= 1.25 oversizes the
+// difference table for safety.
+func ReconcileSets(local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	return iblt.Reconcile(local, remote, seed, headroom)
+}
+
+// SolveXORSAT solves an instance by peeling plus Gaussian elimination on
+// the 2-core; it returns xorsat.ErrUnsatisfiable for inconsistent
+// systems.
+func SolveXORSAT(in *XORSATInstance) ([]uint8, error) {
+	assign, _, err := in.Solve()
+	return assign, err
+}

@@ -6,11 +6,14 @@
 package repro
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/iblt"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -179,6 +182,81 @@ func BenchmarkAblationSubtableRounds(b *testing.B) {
 			b.ReportMetric(float64(res.Subrounds), "subrounds")
 		}
 	})
+}
+
+// BenchmarkFrontierCollect compares the two ways a parallel peel round
+// can gather its next frontier: a mutex-guarded append to one shared
+// slice (the pre-pool implementation) versus per-worker shards merged at
+// the round barrier (what internal/core now does on the pool's worker
+// IDs). Small sizes model the O(log log n) tail rounds.
+func BenchmarkFrontierCollect(b *testing.B) {
+	workers := parallel.Workers()
+	if workers < 2 {
+		workers = 4
+	}
+	p := parallel.NewPool(workers)
+	defer p.Close()
+	for _, n := range []int{512, 1 << 16} {
+		keep := func(i int) bool { return i%3 == 0 } // ~1/3 survive, like a peel round
+		b.Run(fmt.Sprintf("Mutex/n=%d", n), func(b *testing.B) {
+			var mu sync.Mutex
+			next := make([]uint32, 0, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				next = next[:0]
+				p.For(n, 64, func(w, lo, hi int) {
+					var local []uint32
+					for j := lo; j < hi; j++ {
+						if keep(j) {
+							local = append(local, uint32(j))
+						}
+					}
+					if len(local) > 0 {
+						mu.Lock()
+						next = append(next, local...)
+						mu.Unlock()
+					}
+				})
+			}
+		})
+		b.Run(fmt.Sprintf("Sharded/n=%d", n), func(b *testing.B) {
+			shards := make([][]uint32, workers)
+			next := make([]uint32, 0, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				next = next[:0]
+				p.For(n, 64, func(w, lo, hi int) {
+					local := shards[w]
+					for j := lo; j < hi; j++ {
+						if keep(j) {
+							local = append(local, uint32(j))
+						}
+					}
+					shards[w] = local
+				})
+				for w := range shards {
+					next = append(next, shards[w]...)
+					shards[w] = shards[w][:0]
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPeelWorkerCounts runs the full parallel peel below threshold
+// at several pool sizes, exercising the Options.Workers knob end to end.
+func BenchmarkPeelWorkerCounts(b *testing.B) {
+	g := NewUniformHypergraph(1<<18, 180000, 4, 1) // c ~ 0.69
+	for _, workers := range []int{1, 2, 4} {
+		p := core.Options{Workers: workers}
+		b.Run(fmt.Sprintf("W=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := core.Parallel(g, 2, p); !res.Empty() {
+					b.Fatal("peel failed")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkIBLTParallelRecovery isolates the recovery phase at the

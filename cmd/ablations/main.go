@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -20,9 +21,14 @@ func main() {
 	cuckoo := flag.Bool("cuckoo", true, "peeling vs random-walk placement sweep")
 	xs := flag.Bool("xorsat", true, "XORSAT regime sweep")
 	ensembles := flag.Bool("ensembles", true, "degree-ensemble comparison")
+	workers := flag.Int("workers", 0, "worker pool size for parallel peeling (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	fmt.Printf("ablations (GOMAXPROCS=%d)\n\n", runtime.GOMAXPROCS(0))
+	if *workers > 0 {
+		parallel.SetDefaultWorkers(*workers)
+	}
+	fmt.Printf("ablations (GOMAXPROCS=%d, workers=%d)\n\n",
+		runtime.GOMAXPROCS(0), parallel.Default().Workers())
 
 	if *scan {
 		fmt.Println("== parallel peeling: frontier vs full-scan (c=0.7, k=2, r=4) ==")

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full sizes (n to 2.56M, 1000 trials)")
 	trials := flag.Int("trials", 0, "override trial count (0 = preset)")
 	seed := flag.Uint64("seed", 2014, "base RNG seed")
+	workers := flag.Int("workers", 0, "worker pool size for parallel peeling (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetDefaultWorkers(*workers)
+	}
 
 	if *table1 {
 		cfg := experiments.DefaultTable1()

@@ -27,6 +27,18 @@
 //     log(r−1)/log φ_{r−1} factor in subrounds, not a factor of r
 //     (Theorems 4/7).
 //
+// # Runtime
+//
+// The parallel peelers execute on a persistent worker pool
+// (internal/parallel.Pool): workers stay alive across rounds, each
+// round's two phases are dispatched as chunked parallel-for batches, and
+// per-worker frontier shards — indexed by the pool's worker IDs — replace
+// locked appends, so the small-frontier tail rounds that dominate the
+// O(log log n) bound pay neither goroutine spawns nor mutex traffic.
+// Callers pick a worker count per run (core.Options.Workers), share an
+// explicit pool across runs (core.Options.Pool), or let everything ride
+// on the process-wide default pool.
+//
 // The cmd/ binaries regenerate every table and figure in the paper's
 // evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for measured-vs-paper results.

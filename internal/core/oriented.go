@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -47,6 +46,8 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 	if grain <= 0 {
 		grain = 2048
 	}
+	pool, release := opts.pool()
+	defer release()
 	r := g.R
 	sub := g.SubtableSize
 
@@ -59,15 +60,22 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 	eclaim := parallel.NewBitset(g.M)
 
 	frontiers := make([][]uint32, r)
-	nexts := make([][]uint32, r)
 	inFrontier := make([]uint32, g.N)
 	for v := 0; v < g.N; v++ {
 		if s.deg[v] < s.k {
 			frontiers[v/sub] = append(frontiers[v/sub], uint32(v))
 		}
 	}
+	// Per-worker shards, reused across subrounds: nextShards[w][j] holds
+	// worker w's freed candidates for subtable j, layerShards[w] the edge
+	// ids worker w released this subround. Both are merged at the
+	// subround barrier — no locking in the loop.
+	nextShards := make([][][]uint32, pool.Workers())
+	for w := range nextShards {
+		nextShards[w] = make([][]uint32, r)
+	}
+	layerShards := make([][]uint32, pool.Workers())
 
-	var mu sync.Mutex
 	var peelSet []uint32
 	subroundIdx := 0
 	lastProductive := 0
@@ -90,13 +98,9 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 				continue
 			}
 
-			for jj := 0; jj < r; jj++ {
-				nexts[jj] = nexts[jj][:0]
-			}
-			var layer []uint32
-			parallel.For(len(peelSet), grain, func(lo, hi int) {
-				local := make([][]uint32, r)
-				var localLayer []uint32
+			pool.For(len(peelSet), grain, func(w, lo, hi int) {
+				local := nextShards[w]
+				localLayer := layerShards[w]
 				for i := lo; i < hi; i++ {
 					v := peelSet[i]
 					for _, e := range g.VertexEdges(int(v)) {
@@ -123,18 +127,15 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 						}
 					}
 				}
-				mu.Lock()
-				layer = append(layer, localLayer...)
-				for jj := 0; jj < r; jj++ {
-					if len(local[jj]) > 0 {
-						nexts[jj] = append(nexts[jj], local[jj]...)
-					}
-				}
-				mu.Unlock()
+				layerShards[w] = localLayer
 			})
 			for jj := 0; jj < r; jj++ {
-				frontiers[jj] = append(frontiers[jj], nexts[jj]...)
+				for w := range nextShards {
+					frontiers[jj] = append(frontiers[jj], nextShards[w][jj]...)
+					nextShards[w][jj] = nextShards[w][jj][:0]
+				}
 			}
+			layer := drain(nil, layerShards)
 			if len(layer) > 0 {
 				orient.Layers = append(orient.Layers, layer)
 			}
@@ -151,7 +152,7 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 		res.Rounds = round
 	}
 	res.Subrounds = lastProductive
-	syncEdgeClaims(s.edead, eclaim)
+	syncEdgeClaims(s.edead, eclaim, pool)
 	return s.finish(res), orient
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -31,6 +30,55 @@ type Options struct {
 	Scan      ScanPolicy
 	MaxRounds int // 0 means Deadline
 	Grain     int // parallel-for grain; 0 selects a default
+
+	// Workers sets the size of a private worker pool for this run; 0
+	// uses Pool if set and otherwise the process-wide default pool
+	// (parallel.Default / parallel.SetDefaultWorkers).
+	Workers int
+
+	// Pool runs the peel on an explicit persistent pool, amortizing
+	// worker startup across many runs. Ignored when Workers > 0.
+	Pool *parallel.Pool
+}
+
+// pool resolves the worker pool a run executes on and a release func to
+// call when the run finishes (a no-op unless the run owns the pool).
+func (o Options) pool() (*parallel.Pool, func()) {
+	if o.Workers > 0 {
+		p := parallel.NewPool(o.Workers)
+		return p, p.Close
+	}
+	if o.Pool != nil {
+		return o.Pool, func() {}
+	}
+	return parallel.Default(), func() {}
+}
+
+// roundBuffers holds the per-worker append shards a peel reuses across
+// rounds. Worker w appends only to index w (the pool guarantees chunks
+// with the same worker ID never run concurrently), and the merge at the
+// round barrier drains every shard — so frontier and peel-set collection
+// need neither mutexes nor per-chunk allocations.
+type roundBuffers struct {
+	peel [][]uint32 // Phase A shards (FullScan candidate collection)
+	next [][]uint32 // Phase B shards (next-frontier candidates)
+}
+
+func newRoundBuffers(workers int) *roundBuffers {
+	return &roundBuffers{
+		peel: make([][]uint32, workers),
+		next: make([][]uint32, workers),
+	}
+}
+
+// drain appends every shard of shards to dst and resets the shards,
+// retaining their capacity for the next round.
+func drain(dst []uint32, shards [][]uint32) []uint32 {
+	for w := range shards {
+		dst = append(dst, shards[w]...)
+		shards[w] = shards[w][:0]
+	}
+	return dst
 }
 
 // Parallel runs the round-synchronous peeling process of the paper on g:
@@ -46,6 +94,12 @@ type Options struct {
 // claimed with an atomic flag so it is removed exactly once even when
 // several of its endpoints peel in the same round, and the degrees of the
 // other endpoints are decremented atomically.
+//
+// Both phases run on a persistent worker pool (see Options), and each
+// worker accumulates candidates in its own shard, merged at the round
+// barrier — there is no locking anywhere in the round loop, and the
+// shards are reused across rounds, which matters in the small-frontier
+// tail where a round does little work.
 func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	s := newCoreState(g, k)
 	maxRounds := opts.MaxRounds
@@ -56,6 +110,8 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	if grain <= 0 {
 		grain = 2048
 	}
+	pool, release := opts.pool()
+	defer release()
 
 	res := &Result{}
 	alive := g.N
@@ -65,9 +121,10 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	// so that finish() and CoreDegreesValid see the usual representation.
 	eclaim := parallel.NewBitset(g.M)
 
-	var frontier, peelSet, next []uint32
+	var frontier, peelSet []uint32
 	inFrontier := make([]uint32, g.N) // epoch tags double as dedup marks
 	var epoch uint32
+	bufs := newRoundBuffers(pool.Workers())
 
 	if opts.Scan == Frontier {
 		frontier = make([]uint32, 0, g.N)
@@ -78,7 +135,6 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 		}
 	}
 
-	var mu sync.Mutex
 	for round := 1; round <= maxRounds; round++ {
 		// Phase A: collect this round's peel set, marking its vertices
 		// dead as they are collected (each vertex is visited exactly once:
@@ -94,20 +150,17 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 				}
 			}
 		case FullScan:
-			parallel.For(g.N, grain, func(lo, hi int) {
-				var local []uint32
+			pool.For(g.N, grain, func(w, lo, hi int) {
+				local := bufs.peel[w]
 				for v := lo; v < hi; v++ {
 					if s.vdead[v] == 0 && s.deg[v] < s.k {
 						s.vdead[v] = 1
 						local = append(local, uint32(v))
 					}
 				}
-				if len(local) > 0 {
-					mu.Lock()
-					peelSet = append(peelSet, local...)
-					mu.Unlock()
-				}
+				bufs.peel[w] = local
 			})
+			peelSet = drain(peelSet, bufs.peel)
 		}
 		if len(peelSet) == 0 {
 			break
@@ -117,9 +170,8 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 		// so marking vdead needs no atomics (byte stores to distinct
 		// addresses); edge claims and degree decrements do.
 		epoch = uint32(round)
-		next = next[:0]
-		parallel.For(len(peelSet), grain, func(lo, hi int) {
-			var local []uint32
+		pool.For(len(peelSet), grain, func(w, lo, hi int) {
+			local := bufs.next[w]
 			for i := lo; i < hi; i++ {
 				v := peelSet[i] // already marked dead in Phase A
 				for _, e := range g.VertexEdges(int(v)) {
@@ -143,28 +195,24 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 					}
 				}
 			}
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
+			bufs.next[w] = local
 		})
 
 		alive -= len(peelSet)
 		res.Rounds = round
 		res.SurvivorHistory = append(res.SurvivorHistory, alive)
 		if opts.Scan == Frontier {
-			frontier, next = next, frontier
+			frontier = drain(frontier[:0], bufs.next)
 		}
 	}
-	syncEdgeClaims(s.edead, eclaim)
+	syncEdgeClaims(s.edead, eclaim, pool)
 	return s.finish(res)
 }
 
 // syncEdgeClaims copies the atomic claim bitset into the byte-per-edge
 // representation shared with the sequential peeler.
-func syncEdgeClaims(edead []uint8, claims *parallel.Bitset) {
-	parallel.For(len(edead), 1<<14, func(lo, hi int) {
+func syncEdgeClaims(edead []uint8, claims *parallel.Bitset, pool *parallel.Pool) {
+	pool.For(len(edead), 1<<14, func(w, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			if claims.Get(e) {
 				edead[e] = 1

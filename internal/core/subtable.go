@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -36,6 +35,8 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	if grain <= 0 {
 		grain = 2048
 	}
+	pool, release := opts.pool()
+	defer release()
 	r := g.R
 	sub := g.SubtableSize
 
@@ -44,9 +45,11 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	eclaim := parallel.NewBitset(g.M)
 
 	// Per-subtable frontiers with epoch dedup, mirroring the Parallel
-	// peeler. frontiers[j] holds candidates from subtable j.
+	// peeler. frontiers[j] holds candidates from subtable j. Freed
+	// candidates are collected per worker and per target subtable
+	// (nextShards[w][j]) and merged into the frontiers at the subround
+	// barrier; the shards are reused across subrounds.
 	frontiers := make([][]uint32, r)
-	nexts := make([][]uint32, r)
 	inFrontier := make([]uint32, g.N)
 	for v := 0; v < g.N; v++ {
 		if s.deg[v] < s.k {
@@ -54,8 +57,12 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 			frontiers[j] = append(frontiers[j], uint32(v))
 		}
 	}
+	peelShards := make([][]uint32, pool.Workers())
+	nextShards := make([][][]uint32, pool.Workers())
+	for w := range nextShards {
+		nextShards[w] = make([][]uint32, r)
+	}
 
-	var mu sync.Mutex
 	var peelSet []uint32
 	subroundIdx := 0
 	lastProductive := 0
@@ -83,8 +90,8 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 				frontiers[j] = frontiers[j][:0]
 			case FullScan:
 				base := j * sub
-				parallel.For(sub, grain, func(lo, hi int) {
-					var local []uint32
+				pool.For(sub, grain, func(w, lo, hi int) {
+					local := peelShards[w]
 					for vi := lo; vi < hi; vi++ {
 						v := uint32(base + vi)
 						if s.vdead[v] == 0 && s.deg[v] < s.k {
@@ -92,12 +99,9 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 							local = append(local, v)
 						}
 					}
-					if len(local) > 0 {
-						mu.Lock()
-						peelSet = append(peelSet, local...)
-						mu.Unlock()
-					}
+					peelShards[w] = local
 				})
+				peelSet = drain(peelSet, peelShards)
 			}
 
 			if len(peelSet) == 0 {
@@ -110,11 +114,8 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 			// freed by this subround — every edge meets subtable j once —
 			// but cross-subtable ones can be peeled later this round,
 			// which is why subrounds make faster progress than rounds).
-			for jj := 0; jj < r; jj++ {
-				nexts[jj] = nexts[jj][:0]
-			}
-			parallel.For(len(peelSet), grain, func(lo, hi int) {
-				local := make([][]uint32, r)
+			pool.For(len(peelSet), grain, func(w, lo, hi int) {
+				local := nextShards[w]
 				for i := lo; i < hi; i++ {
 					v := peelSet[i] // already marked dead in Phase A
 					for _, e := range g.VertexEdges(int(v)) {
@@ -135,16 +136,12 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 						}
 					}
 				}
-				mu.Lock()
-				for jj := 0; jj < r; jj++ {
-					if len(local[jj]) > 0 {
-						nexts[jj] = append(nexts[jj], local[jj]...)
-					}
-				}
-				mu.Unlock()
 			})
 			for jj := 0; jj < r; jj++ {
-				frontiers[jj] = append(frontiers[jj], nexts[jj]...)
+				for w := range nextShards {
+					frontiers[jj] = append(frontiers[jj], nextShards[w][jj]...)
+					nextShards[w][jj] = nextShards[w][jj][:0]
+				}
 			}
 
 			alive -= len(peelSet)
@@ -161,6 +158,6 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 		res.Rounds = round
 	}
 	res.Subrounds = lastProductive
-	syncEdgeClaims(s.edead, eclaim)
+	syncEdgeClaims(s.edead, eclaim, pool)
 	return s.finish(res)
 }

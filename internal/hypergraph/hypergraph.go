@@ -231,15 +231,16 @@ func (g *Hypergraph) DegreeHistogram(maxDeg int) []int {
 // CountDegreesBelow returns how many vertices currently have degree < k in
 // the full graph (round-1 peel candidates), computed in parallel.
 func (g *Hypergraph) CountDegreesBelow(k int) int {
-	counter := parallel.NewCounter()
-	parallel.For(g.N, 4096, func(lo, hi int) {
+	pool := parallel.Default()
+	counter := pool.NewCounter()
+	pool.For(g.N, 4096, func(w, lo, hi int) {
 		local := 0
 		for v := lo; v < hi; v++ {
 			if g.Degree(v) < k {
 				local++
 			}
 		}
-		counter.Add(lo, int64(local))
+		counter.Add(w, int64(local))
 	})
 	return int(counter.Sum())
 }

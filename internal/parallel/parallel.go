@@ -1,69 +1,49 @@
-// Package parallel provides the small set of shared-memory parallelism
-// primitives the peeling implementations need: a blocking parallel-for
-// with grain control, an atomic bitset for claim/mark operations, and a
-// sharded counter that avoids cache-line contention when many goroutines
-// tally removals.
+// Package parallel provides the shared-memory parallelism substrate the
+// peeling implementations run on: a persistent worker pool (Pool) with a
+// submit/barrier API and a worker-ID-carrying parallel-for, an atomic
+// bitset for claim/mark operations, and a sharded counter that avoids
+// cache-line contention when many workers tally removals.
 //
-// The design mirrors what the paper's GPU implementation gets from CUDA:
-// a flat iteration space chopped across hardware threads, atomic
-// test-and-set to claim cells, and a cheap parallel reduction to decide
-// whether a round made progress.
+// The round-synchronous peelers call a parallel-for twice per round, and
+// below the threshold most rounds have tiny frontiers — so per-call
+// goroutine spawns would dominate exactly the O(log log n) tail the
+// paper analyzes. The Pool keeps its workers alive across rounds: a
+// batch costs channel handoffs to already-running goroutines, the
+// calling goroutine does a share of the work itself, and the worker IDs
+// the pool hands out let callers keep per-worker buffers (frontier
+// shards, counters) that are merged at the round barrier instead of
+// guarded by a mutex. The design mirrors what the paper's GPU
+// implementation gets from CUDA — a flat iteration space chopped across
+// persistent hardware threads, atomic test-and-set to claim cells — and
+// what CPU peeling systems (GBBS-style bucketing structures) get from
+// per-worker buffers.
+//
+// The package-level For runs on a lazily created process-wide default
+// pool (see Default and SetDefaultWorkers), so code that does not care
+// about pool management still benefits from persistent workers.
 package parallel
 
 import (
 	"math/bits"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// Workers returns the degree of parallelism used by For: GOMAXPROCS.
+// Workers returns the default degree of parallelism: GOMAXPROCS. Pools
+// created with NewPool(0) and the default pool use this size.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
-// For executes fn over the index range [0, n) in parallel, handing each
-// worker contiguous chunks of at least grain indices. fn must be safe to
-// call concurrently on disjoint ranges. For blocks until all chunks are
-// done. A grain <= 0 selects a default that gives each worker a few
-// chunks for load balancing. If the range is small or only one worker is
-// available, fn runs inline on the caller's goroutine.
+// For executes fn over the index range [0, n) in parallel on the shared
+// default pool, handing workers contiguous chunks of at most grain
+// indices. fn must be safe to call concurrently on disjoint ranges, and
+// must not itself call For (or anything on the default pool): the pool's
+// workers do not steal nested work, so reentrant submission can
+// deadlock. For blocks until all chunks are done. A grain <= 0 selects a
+// default that gives each worker a few chunks for load balancing.
+// Callers that want per-worker sharding instead of atomics should use
+// Pool.For, which passes the worker ID.
 func For(n, grain int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := Workers()
-	if grain <= 0 {
-		grain = n/(workers*4) + 1
-	}
-	if workers == 1 || n <= grain {
-		fn(0, n)
-		return
-	}
-	// Chunks are claimed dynamically via an atomic cursor, which balances
-	// load when per-index work varies (e.g. peeling frontiers).
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	nChunks := (n + grain - 1) / grain
-	if workers > nChunks {
-		workers = nChunks
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(int64(grain))) - grain
-				if start >= n {
-					return
-				}
-				end := start + grain
-				if end > n {
-					end = n
-				}
-				fn(start, end)
-			}
-		}()
-	}
-	wg.Wait()
+	Default().For(n, grain, func(_, lo, hi int) { fn(lo, hi) })
 }
 
 // Bitset is a fixed-size set of bits supporting atomic operations. It is
@@ -142,14 +122,18 @@ type paddedInt64 struct {
 	_ [56]byte // pad to a cache line to avoid false sharing
 }
 
-// NewCounter returns a counter with one shard per worker.
+// NewCounter returns a counter with one shard per default-pool worker.
+// Pools of other sizes should use Pool.NewCounter so every worker ID
+// gets its own shard.
 func NewCounter() *Counter {
 	return &Counter{shards: make([]paddedInt64, Workers())}
 }
 
-// Add adds delta to the shard identified by worker w (callers pass any
-// stable small integer, typically a worker index; it is reduced mod the
-// shard count).
+// Add adds delta to the shard identified by worker ID w, as reported by
+// Pool.For. Worker IDs are dense in [0, workers), so distinct workers
+// land on distinct shards (chunk offsets such as lo would alias: every
+// multiple of the grain can collapse onto one shard). w is reduced mod
+// the shard count as a safety net for mismatched pool sizes.
 func (c *Counter) Add(w int, delta int64) {
 	c.shards[w%len(c.shards)].v.Add(delta)
 }

@@ -134,10 +134,12 @@ func TestBitsetCountMatchesSets(t *testing.T) {
 }
 
 func TestCounter(t *testing.T) {
-	c := NewCounter()
-	For(10000, 16, func(lo, hi int) {
+	p := NewPool(4)
+	defer p.Close()
+	c := p.NewCounter()
+	p.For(10000, 16, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			c.Add(lo, 1)
+			c.Add(w, 1)
 		}
 	})
 	if got := c.Sum(); got != 10000 {
@@ -149,20 +151,39 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+// TestCounterShardSpread pins the Counter.Add contract: distinct worker
+// IDs in [0, shards) hit distinct shards. Chunk offsets (multiples of the
+// grain) used to be passed as keys and could all alias to shard 0.
+func TestCounterShardSpread(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	c := p.NewCounter()
+	for w := 0; w < 4; w++ {
+		c.Add(w, 1)
+	}
+	for i := range c.shards {
+		if got := c.shards[i].v.Load(); got != 1 {
+			t.Errorf("shard %d holds %d, want 1 (worker IDs must not collide)", i, got)
+		}
+	}
+}
+
 func BenchmarkForSum(b *testing.B) {
 	data := make([]int64, 1<<20)
 	for i := range data {
 		data[i] = int64(i)
 	}
+	p := Default()
+	c := p.NewCounter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := NewCounter()
-		For(len(data), 1<<14, func(lo, hi int) {
+		c.Reset()
+		p.For(len(data), 1<<14, func(w, lo, hi int) {
 			var local int64
 			for j := lo; j < hi; j++ {
 				local += data[j]
 			}
-			c.Add(lo, local)
+			c.Add(w, local)
 		})
 		_ = c.Sum()
 	}

@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of persistent worker goroutines that execute
+// parallel-for batches without per-call goroutine spawns. The calling
+// goroutine always participates as worker 0; a pool of W workers keeps
+// W-1 helper goroutines parked on channel receives between batches, so
+// dispatching a round costs at most W-1 channel sends instead of W-1
+// goroutine creations plus a sync.WaitGroup handshake.
+//
+// Worker IDs are the pool's sharding primitive: within one For or Run
+// call, chunks handed to worker w are executed by a single goroutine, so
+// callers may index per-worker buffers with w and no atomics. IDs are
+// always in [0, Workers()).
+//
+// A Pool may be shared: concurrent For/Run calls from different
+// goroutines are safe (batches queue per worker and run in submission
+// order). The batch function must not itself call For/Run on the same
+// pool — workers do not steal nested work, so reentrant submission can
+// deadlock. Close must not race with in-flight calls.
+type Pool struct {
+	workers int
+	// chans[i] feeds helper worker i+1; worker 0 is the submitting
+	// goroutine. Capacity 1 lets a submitter hand off every batch
+	// without waiting for parked helpers to wake.
+	chans []chan batch
+}
+
+type batch struct {
+	fn func(w int)
+	wg *sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size; workers <= 0 selects
+// Workers() (GOMAXPROCS). The helpers live until Close.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	p := &Pool{workers: workers, chans: make([]chan batch, workers-1)}
+	for i := range p.chans {
+		ch := make(chan batch, 1)
+		p.chans[i] = ch
+		w := i + 1
+		go func() {
+			for b := range ch {
+				b.fn(w)
+				b.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size (the number of distinct worker IDs).
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(w) once per worker — the submit/barrier primitive For
+// is built on. fn(0) runs on the calling goroutine; Run returns when
+// every worker has finished.
+func (p *Pool) Run(fn func(w int)) { p.run(p.workers-1, fn) }
+
+// run dispatches fn to helpers 1..helpers, runs fn(0) inline, and waits.
+func (p *Pool) run(helpers int, fn func(w int)) {
+	if helpers <= 0 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	b := batch{fn: fn, wg: &wg}
+	for i := 0; i < helpers; i++ {
+		p.chans[i] <- b
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// For executes fn over [0, n) in chunks of at most grain indices, in
+// parallel across the pool's workers. Chunks are claimed dynamically via
+// an atomic cursor, which balances load when per-index work varies (e.g.
+// peeling frontiers). fn receives the executing worker's ID alongside
+// the chunk bounds; chunks with the same w never run concurrently, so fn
+// may use w to index per-worker state without synchronization. A grain
+// <= 0 selects a default giving each worker a few chunks. Small ranges
+// (n <= grain) and 1-worker pools run inline on the caller's goroutine —
+// still in chunks of at most grain — with w = 0.
+func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n/(p.workers*4) + 1
+	}
+	if p.workers == 1 || n <= grain {
+		forSerial(n, grain, fn)
+		return
+	}
+	// Wake only as many helpers as there are chunks beyond the caller's
+	// own: tail rounds with a handful of chunks shouldn't pay W sends.
+	nChunks := (n + grain - 1) / grain
+	helpers := p.workers - 1
+	if helpers > nChunks-1 {
+		helpers = nChunks - 1
+	}
+	var cursor atomic.Int64
+	p.run(helpers, func(w int) {
+		for {
+			start := int(cursor.Add(int64(grain))) - grain
+			if start >= n {
+				return
+			}
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			fn(w, start, end)
+		}
+	})
+}
+
+// forSerial is the inline path: worker 0, chunks of at most grain.
+func forSerial(n, grain int, fn func(w, lo, hi int)) {
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(0, lo, hi)
+	}
+}
+
+// NewCounter returns a sharded counter with one shard per pool worker,
+// for use with the pool's worker IDs as shard keys.
+func (p *Pool) NewCounter() *Counter {
+	return &Counter{shards: make([]paddedInt64, p.workers)}
+}
+
+// Close shuts down the helper goroutines. The pool must be idle; For and
+// Run must not be called after Close.
+func (p *Pool) Close() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+}
+
+var (
+	defaultPool   atomic.Pointer[Pool]
+	defaultPoolMu sync.Mutex
+)
+
+// Default returns the shared process-wide pool backing the package-level
+// For, creating it on first use with the default size (GOMAXPROCS).
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	defaultPoolMu.Lock()
+	defer defaultPoolMu.Unlock()
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(0)
+	defaultPool.Store(p)
+	return p
+}
+
+// SetDefaultWorkers replaces the default pool with one of the given size
+// (<= 0 restores the GOMAXPROCS default). It is a startup-time knob for
+// CLIs; the previous pool is abandoned rather than closed so callers
+// that already hold it keep working.
+func SetDefaultWorkers(workers int) {
+	defaultPoolMu.Lock()
+	defer defaultPoolMu.Unlock()
+	defaultPool.Store(NewPool(workers))
+}

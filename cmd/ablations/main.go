@@ -21,6 +21,7 @@ func main() {
 	cuckoo := flag.Bool("cuckoo", true, "peeling vs random-walk placement sweep")
 	xs := flag.Bool("xorsat", true, "XORSAT regime sweep")
 	ensembles := flag.Bool("ensembles", true, "degree-ensemble comparison")
+	construct := flag.Bool("construct", false, "sequential vs pooled instance-construction timing")
 	workers := flag.Int("workers", 0, "worker pool size for parallel peeling (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -29,6 +30,14 @@ func main() {
 	}
 	fmt.Printf("ablations (GOMAXPROCS=%d, workers=%d)\n\n",
 		runtime.GOMAXPROCS(0), parallel.Default().Workers())
+
+	if *construct {
+		fmt.Println("== instance construction: sequential vs pooled generation + CSR build ==")
+		cfg := experiments.DefaultConstructBench()
+		cfg.Workers = *workers
+		experiments.RenderConstructBench(os.Stdout, cfg.Workers, experiments.RunConstructBench(cfg))
+		fmt.Println()
+	}
 
 	if *scan {
 		fmt.Println("== parallel peeling: frontier vs full-scan (c=0.7, k=2, r=4) ==")

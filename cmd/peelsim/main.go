@@ -21,6 +21,7 @@ import (
 func main() {
 	table1 := flag.Bool("table1", true, "run the Table 1 sweep (rounds vs n)")
 	table2 := flag.Bool("table2", true, "run the Table 2 comparison (recurrence vs simulation)")
+	construct := flag.Bool("construct", false, "time sequential vs pooled instance construction")
 	full := flag.Bool("full", false, "use the paper's full sizes (n to 2.56M, 1000 trials)")
 	trials := flag.Int("trials", 0, "override trial count (0 = preset)")
 	seed := flag.Uint64("seed", 2014, "base RNG seed")
@@ -29,6 +30,16 @@ func main() {
 
 	if *workers > 0 {
 		parallel.SetDefaultWorkers(*workers)
+	}
+
+	if *construct {
+		cfg := experiments.DefaultConstructBench()
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		fmt.Printf("Construction: sequential vs pooled generation + CSR build, r=%d c=%.2f\n", cfg.R, cfg.C)
+		start := time.Now()
+		experiments.RenderConstructBench(os.Stdout, cfg.Workers, experiments.RunConstructBench(cfg))
+		fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *table1 {

@@ -39,6 +39,14 @@
 // explicit pool across runs (core.Options.Pool), or let everything ride
 // on the process-wide default pool.
 //
+// Instance construction is parallel too, and deterministically so: edge
+// sampling draws each fixed-size chunk of edges from its own RNG stream
+// keyed by chunk index, and the CSR incidence index is built with a
+// stable parallel counting sort — a given seed yields a bit-identical
+// graph at every worker count. (Adopting chunk-keyed sampling changed
+// which graph a seed denotes relative to earlier revisions, a one-time
+// mapping change; all statistical results are unaffected.)
+//
 // The cmd/ binaries regenerate every table and figure in the paper's
 // evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for measured-vs-paper results.

@@ -46,8 +46,18 @@ var ErrBuildFailed = errors.New("bloomier: construction failed on all attempts")
 
 // Build constructs a filter mapping keys[i] → values[i]. Keys must be
 // distinct. gamma is the slot/key ratio (use DefaultGamma); maxTries
-// bounds seed retries.
+// bounds seed retries. Construction-side hashing and the hypergraph
+// index build run on the process-wide default pool; use BuildWithPool
+// to pin them to an explicit one.
 func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
+	return BuildWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
+}
+
+// BuildWithPool is Build with the construction phases (per-key edge
+// hashing on every retry attempt, CSR incidence build) run on an
+// explicit worker pool. Peeling and back-substitution stay sequential;
+// see BuildParallel for the fully parallel pipeline.
+func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
 	}
@@ -67,7 +77,7 @@ func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Fi
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
 		}
-		if f.assign(keys, values) {
+		if f.assign(keys, values, pool) {
 			return f, nil
 		}
 	}
@@ -83,17 +93,28 @@ func (f *Filter) vertices(x uint64) [arity]uint32 {
 	return vs
 }
 
+// hashEdges maps every key to its three slots in parallel (each key's
+// vertices depend only on the key and the attempt seeds, so the result
+// is independent of the pool size).
+func (f *Filter) hashEdges(keys []uint64, pool *parallel.Pool) []uint32 {
+	edges := make([]uint32, len(keys)*arity)
+	pool.For(len(keys), 2048, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vs := f.vertices(keys[i])
+			copy(edges[i*arity:], vs[:])
+		}
+	})
+	return edges
+}
+
 // assign peels the key hypergraph and back-substitutes slot values so
 // that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; reports
-// whether peeling reached the empty 2-core.
-func (f *Filter) assign(keys, values []uint64) bool {
+// whether peeling reached the empty 2-core. Edge hashing and the CSR
+// build fan out over the pool.
+func (f *Filter) assign(keys, values []uint64, pool *parallel.Pool) bool {
 	n := f.subSize * arity
-	edges := make([]uint32, 0, len(keys)*arity)
-	for _, x := range keys {
-		vs := f.vertices(x)
-		edges = append(edges, vs[0], vs[1], vs[2])
-	}
-	g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+	edges := f.hashEdges(keys, pool)
+	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
 	peel := core.Sequential(g, 2)
 	if !peel.Empty() {
 		return false
@@ -133,6 +154,13 @@ func (f *Filter) Lookup(x uint64) uint64 {
 // read different garbage: the system is underdetermined and the two
 // peel orders choose different free-variable completions.
 func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
+	return BuildParallelWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
+}
+
+// BuildParallelWithPool is BuildParallel with every phase — hashing, CSR
+// build, subround peeling, and layered back-substitution — on an
+// explicit worker pool.
+func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
 	}
@@ -153,22 +181,16 @@ func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries i
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
 		}
 		n := f.subSize * arity
-		edges := make([]uint32, m*arity)
-		parallel.For(m, 2048, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				vs := f.vertices(keys[i])
-				copy(edges[i*arity:], vs[:])
-			}
-		})
-		g := hypergraph.FromEdges(n, arity, edges, f.subSize)
-		res, orient := core.SubtablesOriented(g, 2, core.Options{})
+		edges := f.hashEdges(keys, pool)
+		g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
+		res, orient := core.SubtablesOriented(g, 2, core.Options{Pool: pool})
 		if !res.Empty() {
 			continue
 		}
 		f.slots = make([]uint64, n)
 		for li := len(orient.Layers) - 1; li >= 0; li-- {
 			layer := orient.Layers[li]
-			parallel.For(len(layer), 1024, func(lo, hi int) {
+			pool.For(len(layer), 1024, func(_, lo, hi int) {
 				for idx := lo; idx < hi; idx++ {
 					e := layer[idx]
 					free := orient.FreeVertex[e]

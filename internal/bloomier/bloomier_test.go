@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -199,4 +200,31 @@ func BenchmarkLookup(b *testing.B) {
 		sink ^= f.Lookup(keys[i&(1<<16-1)])
 	}
 	_ = sink
+}
+
+// TestBuildWithPoolMatchesDefault proves the pooled construction path
+// solves the same constraint system: build keys look up identical
+// values at any pool size (serial and parallel pipelines both).
+func TestBuildWithPoolMatchesDefault(t *testing.T) {
+	keys, values := buildInputs(20000, 9)
+	for _, workers := range []int{1, 3} {
+		pool := parallel.NewPool(workers)
+		f, err := BuildWithPool(keys, values, DefaultGamma, 7, 10, pool)
+		if err != nil {
+			t.Fatalf("BuildWithPool(workers=%d): %v", workers, err)
+		}
+		fp, err := BuildParallelWithPool(keys, values, DefaultGamma, 7, 10, pool)
+		if err != nil {
+			t.Fatalf("BuildParallelWithPool(workers=%d): %v", workers, err)
+		}
+		for i, k := range keys {
+			if got := f.Lookup(k); got != values[i] {
+				t.Fatalf("workers=%d: Lookup(%#x) = %#x, want %#x", workers, k, got, values[i])
+			}
+			if got := fp.Lookup(k); got != values[i] {
+				t.Fatalf("workers=%d parallel: Lookup(%#x) = %#x, want %#x", workers, k, got, values[i])
+			}
+		}
+		pool.Close()
+	}
 }

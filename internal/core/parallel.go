@@ -127,12 +127,21 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	bufs := newRoundBuffers(pool.Workers())
 
 	if opts.Scan == Frontier {
-		frontier = make([]uint32, 0, g.N)
-		for v := 0; v < g.N; v++ {
-			if s.deg[v] < s.k {
-				frontier = append(frontier, uint32(v))
+		// Seed the round-1 frontier with a parallel degree scan into the
+		// per-worker shards (the O(n) sequential scan would otherwise be
+		// the only serial pass left before round 1). Shard drain order
+		// may shuffle the frontier across worker counts, but Phase A
+		// treats the frontier as a set — results are unaffected.
+		pool.For(g.N, grain, func(w, lo, hi int) {
+			local := bufs.next[w]
+			for v := lo; v < hi; v++ {
+				if s.deg[v] < s.k {
+					local = append(local, uint32(v))
+				}
 			}
-		}
+			bufs.next[w] = local
+		})
+		frontier = drain(make([]uint32, 0, g.N), bufs.next)
 	}
 
 	for round := 1; round <= maxRounds; round++ {

@@ -3,6 +3,7 @@ package hypergraph
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -25,7 +26,18 @@ import (
 // sequences where some vertex holds more than a 1/r fraction of all
 // stubs a valid matching may not exist; after maxRepair failed passes
 // the function panics with a descriptive message.
+//
+// Stub matching is inherently sequential (each repair swap depends on
+// the previous), so only the CSR incidence build parallelizes; it runs
+// on the process-wide default pool here, or on an explicit pool via
+// ConfigurationModelWithPool.
 func ConfigurationModel(degrees []int32, r int, gen *rng.RNG) *Hypergraph {
+	return ConfigurationModelWithPool(degrees, r, gen, parallel.Default())
+}
+
+// ConfigurationModelWithPool is ConfigurationModel with the CSR build on
+// an explicit worker pool.
+func ConfigurationModelWithPool(degrees []int32, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	n := len(degrees)
 	if r < 2 || r > MaxArity {
 		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))
@@ -77,7 +89,7 @@ func ConfigurationModel(degrees []int32, r int, gen *rng.RNG) *Hypergraph {
 		}
 	}
 	g := &Hypergraph{N: n, M: m, R: r, Edges: stubs}
-	g.buildIncidence()
+	g.buildIncidence(pool)
 	return g
 }
 

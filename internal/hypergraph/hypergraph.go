@@ -17,6 +17,13 @@
 //   - Partitioned: the Appendix B / IBLT model — vertices split into r
 //     equal subtables, each edge containing exactly one vertex per
 //     subtable.
+//
+// Construction is parallel end-to-end — edge sampling fans chunk-keyed
+// RNG streams out over a worker pool, and the CSR index is built with a
+// stable parallel counting sort — yet deterministic: a given generator
+// state produces the same graph for every worker count. Each generator
+// has a ...WithPool variant; the plain forms run on the process-wide
+// default pool.
 package hypergraph
 
 import (
@@ -111,18 +118,37 @@ func validate(n, m, r int) {
 	}
 }
 
+// genChunk is the number of edges drawn from one RNG stream during
+// generation. Edge chunk c samples from rng.NewStream(base, c), so the
+// edge array is a pure function of the derived base seed and the chunk
+// size — never of the worker count or chunk scheduling. The value trades
+// stream-setup cost (one xoshiro seeding per 4096 edges) against load
+// balance; it is a determinism-affecting constant: changing it changes
+// which graph a seed denotes.
+const genChunk = 4096
+
 // Uniform generates the G^r_{n,m} model: m edges, each a uniformly chosen
 // r-subset of [0, n), drawn independently (edges may repeat, matching the
 // paper's hashing applications where two items can hash identically).
+// Generation and the CSR build run on the process-wide default pool; the
+// result depends only on gen's state, not on the pool size.
 func Uniform(n, m, r int, gen *rng.RNG) *Hypergraph {
+	return UniformWithPool(n, m, r, gen, parallel.Default())
+}
+
+// UniformWithPool is Uniform on an explicit worker pool.
+func UniformWithPool(n, m, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	validate(n, m, r)
 	g := &Hypergraph{N: n, M: m, R: r, Edges: make([]uint32, m*r)}
-	var tuple [MaxArity]uint32
-	for e := 0; e < m; e++ {
-		gen.SampleDistinct(tuple[:r], uint32(n))
-		copy(g.Edges[e*r:], tuple[:r])
-	}
-	g.buildIncidence()
+	base := gen.DeriveSeed()
+	forEdgeChunks(pool, base, m, func(cg *rng.RNG, lo, hi int) {
+		var tuple [MaxArity]uint32
+		for e := lo; e < hi; e++ {
+			cg.SampleDistinct(tuple[:r], uint32(n))
+			copy(g.Edges[e*r:], tuple[:r])
+		}
+	})
+	g.buildIncidence(pool)
 	return g
 }
 
@@ -131,11 +157,16 @@ func Uniform(n, m, r int, gen *rng.RNG) *Hypergraph {
 // Binomial(C(n,r), cn/C(n,r))), and each edge is an independent uniform
 // r-subset.
 func Binomial(n int, c float64, r int, gen *rng.RNG) *Hypergraph {
+	return BinomialWithPool(n, c, r, gen, parallel.Default())
+}
+
+// BinomialWithPool is Binomial on an explicit worker pool.
+func BinomialWithPool(n int, c float64, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	if c < 0 {
 		panic("hypergraph: negative edge density")
 	}
 	m := gen.Poisson(c * float64(n))
-	return Uniform(n, m, r, gen)
+	return UniformWithPool(n, m, r, gen, pool)
 }
 
 // Partitioned generates the Appendix B model: n vertices split into r
@@ -144,20 +175,43 @@ func Binomial(n int, c float64, r int, gen *rng.RNG) *Hypergraph {
 // lies in subtable j, mirroring how an IBLT hashes an item once per
 // subtable.
 func Partitioned(n, m, r int, gen *rng.RNG) *Hypergraph {
+	return PartitionedWithPool(n, m, r, gen, parallel.Default())
+}
+
+// PartitionedWithPool is Partitioned on an explicit worker pool.
+func PartitionedWithPool(n, m, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	validate(n, m, r)
 	if n%r != 0 {
 		panic(fmt.Sprintf("hypergraph: n=%d not divisible by r=%d", n, r))
 	}
 	sub := n / r
 	g := &Hypergraph{N: n, M: m, R: r, Edges: make([]uint32, m*r), SubtableSize: sub}
-	for e := 0; e < m; e++ {
-		base := e * r
-		for j := 0; j < r; j++ {
-			g.Edges[base+j] = uint32(j*sub) + uint32(gen.Uint64n(uint64(sub)))
+	base := gen.DeriveSeed()
+	forEdgeChunks(pool, base, m, func(cg *rng.RNG, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			for j := 0; j < r; j++ {
+				g.Edges[e*r+j] = uint32(j*sub) + uint32(cg.Uint64n(uint64(sub)))
+			}
 		}
-	}
-	g.buildIncidence()
+	})
+	g.buildIncidence(pool)
 	return g
+}
+
+// forEdgeChunks runs fill over [0, m) in genChunk-sized pieces, handing
+// each piece a generator keyed by its chunk index. Chunks write disjoint
+// edge ranges, so they fan out over the pool freely; the sampled values
+// depend only on (base, chunk index), so any pool size — including the
+// inline single-worker path — produces identical edges.
+func forEdgeChunks(pool *parallel.Pool, base uint64, m int, fill func(cg *rng.RNG, lo, hi int)) {
+	nChunks := (m + genChunk - 1) / genChunk
+	pool.For(nChunks, 1, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * genChunk
+			hi := min(lo+genChunk, m)
+			fill(rng.NewStream(base, uint64(c)), lo, hi)
+		}
+	})
 }
 
 // FromEdges builds a hypergraph from an explicit flattened edge list
@@ -165,34 +219,166 @@ func Partitioned(n, m, r int, gen *rng.RNG) *Hypergraph {
 // It panics if the list length is not a multiple of r or any vertex id is
 // out of range.
 func FromEdges(n, r int, edges []uint32, subtableSize int) *Hypergraph {
+	return FromEdgesWithPool(n, r, edges, subtableSize, parallel.Default())
+}
+
+// FromEdgesWithPool is FromEdges on an explicit worker pool (validation
+// and the CSR build parallelize over the edge list).
+func FromEdgesWithPool(n, r int, edges []uint32, subtableSize int, pool *parallel.Pool) *Hypergraph {
 	if r < 2 || r > MaxArity {
 		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))
 	}
 	if len(edges)%r != 0 {
 		panic("hypergraph: edge list length not a multiple of r")
 	}
-	for _, v := range edges {
-		if int(v) >= n {
-			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, n))
+	bad := pool.NewCounter()
+	pool.For(len(edges), 1<<15, func(w, lo, hi int) {
+		local := 0
+		for _, v := range edges[lo:hi] {
+			if int(v) >= n {
+				local++
+			}
+		}
+		bad.Add(w, int64(local))
+	})
+	if bad.Sum() > 0 {
+		for _, v := range edges {
+			if int(v) >= n {
+				panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, n))
+			}
 		}
 	}
 	g := &Hypergraph{N: n, M: len(edges) / r, R: r, Edges: edges, SubtableSize: subtableSize}
-	g.buildIncidence()
+	g.buildIncidence(pool)
 	return g
 }
 
-// buildIncidence constructs the CSR index with a counting sort. Degree
-// counting and scattering parallelize over edges for large graphs.
-func (g *Hypergraph) buildIncidence() {
+// seqBuildCutoff is the incidence size (m·r) below which buildIncidence
+// uses the sequential counting sort: under ~64K entries the parallel
+// version's extra passes and per-worker histograms cost more than they
+// save. Both paths produce bit-identical Offsets and Incidence.
+const seqBuildCutoff = 1 << 16
+
+// buildSpan returns the number of static pieces the parallel counting
+// sort partitions the edge list into — its effective parallelism. It is
+// capped three ways: by the pool width (more pieces than workers just
+// adds passes over the histogram), so every piece holds at least
+// seqBuildCutoff incidences (tiny pieces would be all fixed cost), and
+// so the O(span·n) histogram memory and prefix-sum work stay within a
+// small constant of the O(m·r) useful work — which keeps sparse graphs
+// (n ≫ m·r) and very wide pools from paying memory or column scans far
+// exceeding the graph itself. A span of 1 selects the sequential sort.
+func buildSpan(n, m, r, workers int) int {
+	span := workers
+	if byWork := m * r / seqBuildCutoff; span > byWork {
+		span = byWork
+	}
+	if byMem := 4 * m * r / n; span > byMem {
+		span = byMem
+	}
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// buildIncidence constructs the CSR index with a stable counting sort:
+// within each vertex's list, edges appear in increasing edge id — the
+// same order the sequential queue peeler and the wire format rely on.
+//
+// Large graphs use a three-pass parallel version of the classic sort
+// (Shun-style, as in GBBS CSR construction): the edge list is split
+// into span static pieces, each piece's degrees are counted into its
+// own histogram, a prefix sum composed over (piece, vertex) turns the
+// histograms into disjoint write cursors, and each piece scatters its
+// own edge range. Piece p's slots for vertex v start after all slots of
+// pieces p' < p, and pieces cover increasing edge ranges — so the
+// scatter reproduces exactly the sequential edge order, bit for bit,
+// for every worker count and span.
+func (g *Hypergraph) buildIncidence(pool *parallel.Pool) {
+	n, m, r := g.N, g.M, g.R
+	span := buildSpan(n, m, r, pool.Workers())
+	if span == 1 {
+		g.buildIncidenceSeq()
+		return
+	}
+
+	// Pass 1: per-piece degree histograms. hist[p*n+v] counts vertex v's
+	// appearances in piece p's edge range. The O(span·n) memory is the
+	// price of a lock-free stable sort; buildSpan bounds it relative to
+	// the edge list itself.
+	hist := make([]uint32, span*n)
+	pool.RunRanges(m, span, func(p, elo, ehi int) {
+		h := hist[p*n : p*n+n]
+		for _, v := range g.Edges[elo*r : ehi*r] {
+			h[v]++
+		}
+	})
+
+	// Pass 2: composed prefix sum over (piece, vertex). Each piece of the
+	// vertex range converts its histogram columns to exclusive
+	// within-column prefixes and accumulates per-vertex total degrees
+	// into a block-local running sum stored in Offsets.
+	g.Offsets = make([]uint32, n+1)
+	offs := g.Offsets
+	blockSum := make([]uint32, span+1)
+	pool.RunRanges(n, span, func(b, vlo, vhi int) {
+		var local uint32
+		for v := vlo; v < vhi; v++ {
+			var col uint32
+			for p := 0; p < span; p++ {
+				i := p*n + v
+				c := hist[i]
+				hist[i] = col
+				col += c
+			}
+			local += col
+			offs[v+1] = local // inclusive degree prefix within the block
+		}
+		blockSum[b+1] = local
+	})
+	for b := 0; b < span; b++ { // tiny sequential scan over block totals
+		blockSum[b+1] += blockSum[b]
+	}
+	// Add-back: globalize the block-local prefixes and turn histogram
+	// columns into absolute cursors. cursor(p, v) = Offsets[v] + (count
+	// of v in edge pieces before p). Every Offsets slot and histogram
+	// column is written only by the block owning vertex v — no races.
+	pool.RunRanges(n, span, func(b, vlo, vhi int) {
+		excl := blockSum[b] // exclusive global degree prefix at v
+		for v := vlo; v < vhi; v++ {
+			incl := blockSum[b] + offs[v+1]
+			for p := 0; p < span; p++ {
+				hist[p*n+v] += excl
+			}
+			offs[v+1] = incl
+			excl = incl
+		}
+	})
+
+	// Pass 3: scatter. Each piece walks its own edge range in increasing
+	// edge id, writing into the disjoint slots its cursors reserve.
+	g.Incidence = make([]uint32, m*r)
+	pool.RunRanges(m, span, func(p, elo, ehi int) {
+		cur := hist[p*n : p*n+n]
+		for e := elo; e < ehi; e++ {
+			for j := 0; j < r; j++ {
+				v := g.Edges[e*r+j]
+				g.Incidence[cur[v]] = uint32(e)
+				cur[v]++
+			}
+		}
+	})
+}
+
+// buildIncidenceSeq is the sequential counting sort, used for small
+// graphs and single-worker pools.
+func (g *Hypergraph) buildIncidenceSeq() {
 	n, m, r := g.N, g.M, g.R
 	counts := make([]uint32, n+1)
-	// Count degrees. For large m, count into per-worker arrays would cost
-	// O(workers*n) memory; instead use atomic-free sequential counting,
-	// which is memory-bound and already fast (single pass over Edges).
 	for _, v := range g.Edges {
 		counts[v+1]++
 	}
-	// Prefix sum.
 	for v := 0; v < n; v++ {
 		counts[v+1] += counts[v]
 	}
@@ -229,9 +415,16 @@ func (g *Hypergraph) DegreeHistogram(maxDeg int) []int {
 }
 
 // CountDegreesBelow returns how many vertices currently have degree < k in
-// the full graph (round-1 peel candidates), computed in parallel.
+// the full graph (round-1 peel candidates), computed in parallel on the
+// process-wide default pool. Callers that configured an explicit pool
+// (core.Options.Workers/Pool) should use CountDegreesBelowWithPool so the
+// scan does not escape to the default pool.
 func (g *Hypergraph) CountDegreesBelow(k int) int {
-	pool := parallel.Default()
+	return g.CountDegreesBelowWithPool(k, parallel.Default())
+}
+
+// CountDegreesBelowWithPool is CountDegreesBelow on an explicit pool.
+func (g *Hypergraph) CountDegreesBelowWithPool(k int, pool *parallel.Pool) int {
 	counter := pool.NewCounter()
 	pool.For(g.N, 4096, func(w, lo, hi int) {
 		local := 0

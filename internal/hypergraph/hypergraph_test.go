@@ -1,10 +1,12 @@
 package hypergraph
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/parallel"
 	"repro/internal/poisson"
 	"repro/internal/rng"
 )
@@ -203,6 +205,136 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	for i := range a.Edges {
 		if a.Edges[i] != b.Edges[i] {
 			t.Fatal("same-seed graphs differ")
+		}
+	}
+}
+
+// equalGraphs fails the test unless a and b have identical Edges,
+// Offsets, and Incidence arrays.
+func equalGraphs(t *testing.T, label string, a, b *Hypergraph) {
+	t.Helper()
+	if a.N != b.N || a.M != b.M || a.R != b.R {
+		t.Fatalf("%s: shape (%d,%d,%d) vs (%d,%d,%d)", label, a.N, a.M, a.R, b.N, b.M, b.R)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("%s: Edges[%d] = %d vs %d", label, i, a.Edges[i], b.Edges[i])
+		}
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("%s: Offsets[%d] = %d vs %d", label, i, a.Offsets[i], b.Offsets[i])
+		}
+	}
+	for i := range a.Incidence {
+		if a.Incidence[i] != b.Incidence[i] {
+			t.Fatalf("%s: Incidence[%d] = %d vs %d", label, i, a.Incidence[i], b.Incidence[i])
+		}
+	}
+}
+
+// TestConstructionDeterministicAcrossWorkers is the contract of the
+// parallel construction path: the same generator state yields
+// bit-identical Edges, Offsets, and Incidence at every worker count.
+// The sizes put m·r above seqBuildCutoff and m above genChunk, so the
+// 3- and 8-worker pools genuinely run the parallel generation and the
+// parallel counting sort while the 1-worker pool runs the sequential
+// fallbacks.
+func TestConstructionDeterministicAcrossWorkers(t *testing.T) {
+	const n, m, r = 40000, 50000, 4
+	if buildSpan(n, m, r, 8) < 2 {
+		t.Fatal("test sizes too small to exercise the parallel CSR build")
+	}
+	type build struct {
+		name string
+		make func(gen *rng.RNG, pool *parallel.Pool) *Hypergraph
+	}
+	builds := []build{
+		{"uniform", func(gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
+			return UniformWithPool(n, m, r, gen, pool)
+		}},
+		{"partitioned", func(gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
+			return PartitionedWithPool(n, m, r, gen, pool)
+		}},
+		{"binomial", func(gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
+			return BinomialWithPool(n, float64(m)/float64(n), r, gen, pool)
+		}},
+	}
+	for _, bd := range builds {
+		ref := bd.make(rng.New(99), parallel.NewPool(1))
+		for _, workers := range []int{3, 8} {
+			pool := parallel.NewPool(workers)
+			got := bd.make(rng.New(99), pool)
+			equalGraphs(t, fmt.Sprintf("%s workers=%d", bd.name, workers), ref, got)
+			pool.Close()
+		}
+	}
+}
+
+// TestBuildSpanCaps pins the partition-sizing policy of the parallel
+// counting sort: small graphs and sparse graphs (n ≫ m·r, where the
+// O(span·n) histogram would dwarf the edge list) fall back to the
+// sequential sort, every piece holds at least seqBuildCutoff
+// incidences, and the histogram memory never exceeds 4× the incidence
+// array no matter how wide the pool is.
+func TestBuildSpanCaps(t *testing.T) {
+	if s := buildSpan(1000, 100, 3, 8); s != 1 {
+		t.Errorf("small graph: span %d, want 1", s)
+	}
+	if s := buildSpan(10_000_000, 40_000, 2, 8); s != 1 {
+		t.Errorf("sparse graph: span %d, want 1 (histogram would be O(span*n))", s)
+	}
+	if s := buildSpan(1<<16, 1<<16, 4, 64); s != (1<<18)/seqBuildCutoff {
+		t.Errorf("work cap: span %d, want %d", s, (1<<18)/seqBuildCutoff)
+	}
+	for _, workers := range []int{2, 8, 64, 512} {
+		n, m, r := 1<<20, 3<<20, 4
+		s := buildSpan(n, m, r, workers)
+		if s > workers {
+			t.Errorf("workers=%d: span %d exceeds pool width", workers, s)
+		}
+		if s*n > 4*m*r {
+			t.Errorf("workers=%d: histogram %d entries exceeds 4x incidence %d", workers, s*n, 4*m*r)
+		}
+	}
+}
+
+// TestParallelCSRMatchesSequential checks the stable parallel counting
+// sort against the sequential build on a shared explicit edge list.
+func TestParallelCSRMatchesSequential(t *testing.T) {
+	const n, m, r = 5000, 60000, 4
+	if buildSpan(n, m, r, 8) < 3 {
+		t.Fatal("test sizes too small to exercise a multi-piece CSR build")
+	}
+	gen := rng.New(123)
+	edges := make([]uint32, m*r)
+	var tuple [MaxArity]uint32
+	for e := 0; e < m; e++ {
+		gen.SampleDistinct(tuple[:r], uint32(n))
+		copy(edges[e*r:], tuple[:r])
+	}
+	seq := FromEdgesWithPool(n, r, append([]uint32(nil), edges...), 0, parallel.NewPool(1))
+	for _, workers := range []int{2, 5, 8} {
+		pool := parallel.NewPool(workers)
+		par := FromEdgesWithPool(n, r, append([]uint32(nil), edges...), 0, pool)
+		equalGraphs(t, fmt.Sprintf("csr workers=%d", workers), seq, par)
+		pool.Close()
+	}
+}
+
+func TestCountDegreesBelowWithPool(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	g := UniformWithPool(20000, 14000, 4, rng.New(12), pool)
+	for _, k := range []int{1, 2, 4} {
+		want := 0
+		for v := 0; v < g.N; v++ {
+			if g.Degree(v) < k {
+				want++
+			}
+		}
+		if got := g.CountDegreesBelowWithPool(k, pool); got != want {
+			t.Errorf("CountDegreesBelowWithPool(%d) = %d, want %d", k, got, want)
 		}
 	}
 }

@@ -129,16 +129,26 @@ func (t *Table) apply(x uint64, delta int64) {
 	}
 }
 
-// InsertAll inserts keys in parallel, using atomic cell updates (the
-// goroutine analog of the paper's one-CUDA-thread-per-item insertion
-// phase with atomic XOR).
-func (t *Table) InsertAll(keys []uint64) { t.applyAll(keys, 1) }
+// InsertAll inserts keys in parallel on the process-wide default pool,
+// using atomic cell updates (the goroutine analog of the paper's
+// one-CUDA-thread-per-item insertion phase with atomic XOR).
+func (t *Table) InsertAll(keys []uint64) { t.applyAll(keys, 1, parallel.Default()) }
 
-// DeleteAll deletes keys in parallel.
-func (t *Table) DeleteAll(keys []uint64) { t.applyAll(keys, -1) }
+// InsertAllWithPool is InsertAll on an explicit worker pool.
+func (t *Table) InsertAllWithPool(keys []uint64, pool *parallel.Pool) {
+	t.applyAll(keys, 1, pool)
+}
 
-func (t *Table) applyAll(keys []uint64, delta int64) {
-	parallel.For(len(keys), 1024, func(lo, hi int) {
+// DeleteAll deletes keys in parallel on the process-wide default pool.
+func (t *Table) DeleteAll(keys []uint64) { t.applyAll(keys, -1, parallel.Default()) }
+
+// DeleteAllWithPool is DeleteAll on an explicit worker pool.
+func (t *Table) DeleteAllWithPool(keys []uint64, pool *parallel.Pool) {
+	t.applyAll(keys, -1, pool)
+}
+
+func (t *Table) applyAll(keys []uint64, delta int64, pool *parallel.Pool) {
+	pool.For(len(keys), 1024, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x := keys[i]
 			t.checkKey(x)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -364,5 +365,28 @@ func BenchmarkDecodeParallel(b *testing.B) {
 		table := master.Clone()
 		b.StartTimer()
 		table.DecodeParallel()
+	}
+}
+
+// TestInsertAllWithPoolDecodes checks the pool-threaded bulk insert
+// produces a decodable table holding exactly the inserted keys.
+func TestInsertAllWithPoolDecodes(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	tb := New(8192, 3, 11)
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	tb.InsertAllWithPool(keys, pool)
+	added, removed, ok := tb.Decode()
+	if !ok || len(added) != len(keys) || len(removed) != 0 {
+		t.Fatalf("decode after InsertAllWithPool: ok=%v added=%d removed=%d", ok, len(added), len(removed))
+	}
+	tb2 := New(8192, 3, 11)
+	tb2.InsertAllWithPool(keys, pool)
+	tb2.DeleteAllWithPool(keys, pool)
+	if _, _, ok := tb2.Decode(); !ok {
+		t.Fatal("insert+delete with pool should leave an empty table")
 	}
 }

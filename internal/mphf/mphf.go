@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -52,7 +53,18 @@ var ErrDuplicateKeys = errors.New("mphf: duplicate keys")
 // Build constructs an MPHF for the distinct keys using the given
 // vertex/key ratio gamma (use DefaultGamma) and an initial seed; it
 // retries with derived seeds up to maxTries times (10 is plenty).
+// Construction-side hashing and the hypergraph index build run on the
+// process-wide default pool; use BuildWithPool to pin them to an
+// explicit one. The resulting function is identical either way.
 func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, error) {
+	return BuildWithPool(keys, gamma, seed, maxTries, parallel.Default())
+}
+
+// BuildWithPool is Build with the construction phases (per-key edge
+// hashing on every retry attempt, CSR incidence build) run on an
+// explicit worker pool. Peeling and g-value assignment stay sequential —
+// they produce the peel order the assignment consumes.
+func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	if gamma < 1.1 {
 		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)
 	}
@@ -72,7 +84,7 @@ func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, erro
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
 		}
-		if f.assign(keys) {
+		if f.assign(keys, pool) {
 			return f, nil
 		}
 	}
@@ -101,15 +113,19 @@ func (f *MPHF) vertices(x uint64) [arity]uint32 {
 }
 
 // assign peels the key hypergraph and computes g values; it reports
-// whether peeling reached the empty 2-core.
-func (f *MPHF) assign(keys []uint64) bool {
+// whether peeling reached the empty 2-core. Edge hashing and the CSR
+// build fan out over the pool (each key's vertices depend only on the
+// key and the attempt seeds, so parallel hashing is deterministic).
+func (f *MPHF) assign(keys []uint64, pool *parallel.Pool) bool {
 	n := f.subSize * arity
-	edges := make([]uint32, 0, len(keys)*arity)
-	for _, x := range keys {
-		vs := f.vertices(x)
-		edges = append(edges, vs[0], vs[1], vs[2])
-	}
-	g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+	edges := make([]uint32, len(keys)*arity)
+	pool.For(len(keys), 2048, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vs := f.vertices(keys[i])
+			copy(edges[i*arity:], vs[:])
+		}
+	})
+	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
 	peel := core.Sequential(g, 2)
 	if !peel.Empty() {
 		return false

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -183,4 +184,28 @@ func BenchmarkLookup(b *testing.B) {
 		sink += f.Lookup(keys[i&(1<<16-1)])
 	}
 	_ = sink
+}
+
+// TestBuildWithPoolMatchesDefault proves the pooled construction path is
+// a pure performance change: the hash seeds, the peeled hypergraph, and
+// hence every lookup are identical to Build's, at any pool size.
+func TestBuildWithPoolMatchesDefault(t *testing.T) {
+	keys := randomKeys(20000, 9)
+	ref, err := Build(keys, DefaultGamma, 7, 10)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, workers := range []int{1, 3} {
+		pool := parallel.NewPool(workers)
+		f, err := BuildWithPool(keys, DefaultGamma, 7, 10, pool)
+		if err != nil {
+			t.Fatalf("BuildWithPool(workers=%d): %v", workers, err)
+		}
+		for _, k := range keys {
+			if f.Lookup(k) != ref.Lookup(k) {
+				t.Fatalf("workers=%d: Lookup(%#x) = %d, want %d", workers, k, f.Lookup(k), ref.Lookup(k))
+			}
+		}
+		pool.Close()
+	}
 }

@@ -134,6 +134,35 @@ func forSerial(n, grain int, fn func(w, lo, hi int)) {
 	}
 }
 
+// RunRanges splits [0, n) into pieces contiguous ranges of near-equal
+// size and executes fn(i, lo, hi) exactly once per piece, i being the
+// piece index. Pieces are claimed dynamically by the pool's workers, but
+// the piece → range mapping is static — independent of scheduling — which
+// is what deterministic partitioned algorithms (e.g. the stable parallel
+// counting sort in internal/hypergraph) need: per-piece state keyed by i
+// means "the i-th slice of the input" rather than "whatever chunks some
+// worker happened to claim". pieces <= 0 selects Workers(); pieces whose
+// range is empty (n < pieces) are still invoked with lo == hi. Within one
+// call distinct pieces may run concurrently, so fn must only touch
+// piece-local or disjoint state.
+func (p *Pool) RunRanges(n, pieces int, fn func(i, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if pieces <= 0 {
+		pieces = p.workers
+	}
+	if pieces == 1 {
+		fn(0, 0, n)
+		return
+	}
+	p.For(pieces, 1, func(_, plo, phi int) {
+		for i := plo; i < phi; i++ {
+			fn(i, i*n/pieces, (i+1)*n/pieces)
+		}
+	})
+}
+
 // NewCounter returns a sharded counter with one shard per pool worker,
 // for use with the pool's worker IDs as shard keys.
 func (p *Pool) NewCounter() *Counter {

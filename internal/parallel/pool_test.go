@@ -103,6 +103,60 @@ func TestPoolRun(t *testing.T) {
 	}
 }
 
+// TestPoolRunRanges checks the static-partition contract: piece i
+// always receives the i-th contiguous range, each piece runs exactly
+// once, ranges tile [0, n) exactly, and empty ranges (n < pieces) are
+// still invoked.
+func TestPoolRunRanges(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, pieces int }{
+		{1, 4}, {3, 4}, {4, 4}, {1000, 4},
+		{1000, 0}, // pieces <= 0 selects Workers()
+		{1001, 7}, // pieces > workers: queued onto the same workers
+		{1000, 1}, // single piece runs inline
+		{5, 16},   // more pieces than items: empties still invoked
+	} {
+		pieces := tc.pieces
+		if pieces <= 0 {
+			pieces = p.Workers()
+		}
+		lows := make([]int, pieces)
+		highs := make([]int, pieces)
+		calls := make([]atomic.Int32, pieces)
+		for i := range lows {
+			lows[i], highs[i] = -1, -1
+		}
+		marks := make([]atomic.Int32, tc.n)
+		p.RunRanges(tc.n, tc.pieces, func(i, lo, hi int) {
+			calls[i].Add(1)
+			lows[i], highs[i] = lo, hi
+			for j := lo; j < hi; j++ {
+				marks[j].Add(1)
+			}
+		})
+		prev := 0
+		for i := 0; i < pieces; i++ {
+			if got := calls[i].Load(); got != 1 {
+				t.Fatalf("n=%d pieces=%d: piece %d ran %d times", tc.n, tc.pieces, i, got)
+			}
+			if lows[i] != prev || highs[i] < lows[i] {
+				t.Fatalf("n=%d pieces=%d piece %d: range [%d,%d), want start %d",
+					tc.n, tc.pieces, i, lows[i], highs[i], prev)
+			}
+			prev = highs[i]
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d pieces=%d: ranges end at %d", tc.n, tc.pieces, prev)
+		}
+		for j := range marks {
+			if got := marks[j].Load(); got != 1 {
+				t.Fatalf("n=%d pieces=%d: index %d visited %d times", tc.n, tc.pieces, j, got)
+			}
+		}
+	}
+}
+
 // TestPoolConcurrentReuse hammers one pool from many goroutines; each
 // caller must still see its own range covered exactly once. Run under
 // -race this also proves batches from different callers don't trample

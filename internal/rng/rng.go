@@ -55,6 +55,14 @@ func NewStream(seed, idx uint64) *RNG {
 	return New(seed ^ Mix64(idx+0x632be59bd9b4e019))
 }
 
+// DeriveSeed draws one value from the generator for use as the base seed
+// of a family of indexed substreams (NewStream(base, idx)). The parallel
+// hypergraph generators use this to key edge-chunk streams by chunk
+// index: the caller's generator advances by exactly one draw regardless
+// of how much randomness the chunks consume, so the construction is
+// reproducible for any worker count.
+func (r *RNG) DeriveSeed() uint64 { return r.Uint64() }
+
 // Seed resets the generator state from a single 64-bit seed.
 func (r *RNG) Seed(seed uint64) {
 	sm := seed

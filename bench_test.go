@@ -244,18 +244,22 @@ func BenchmarkFrontierCollect(b *testing.B) {
 }
 
 // BenchmarkPeelWorkerCounts runs the full parallel peel below threshold
-// at several pool sizes, exercising the Options.Workers knob end to end.
+// at several pool sizes. The pool is hoisted out of the measured loop
+// (Options.Workers inside a loop would spin up and tear down a fresh
+// pool per peel — the per-call cost core.Options.AcquirePool documents).
 func BenchmarkPeelWorkerCounts(b *testing.B) {
 	g := NewUniformHypergraph(1<<18, 180000, 4, 1) // c ~ 0.69
 	for _, workers := range []int{1, 2, 4} {
-		p := core.Options{Workers: workers}
+		pool, release := core.Options{Workers: workers}.AcquirePool()
+		opts := core.Options{Pool: pool}
 		b.Run(fmt.Sprintf("W=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if res := core.Parallel(g, 2, p); !res.Empty() {
+				if res := core.Parallel(g, 2, opts); !res.Empty() {
 					b.Fatal("peel failed")
 				}
 			}
 		})
+		release()
 	}
 }
 

@@ -1,0 +1,210 @@
+// Command peelload drives many concurrent peeling jobs against the
+// shared worker-pool runtime — the multi-tenant serving scenario the
+// ROADMAP's "heavy traffic from millions of users" north star implies.
+// It runs J identical jobs (IBLT decodes by default; MPHF builds, set
+// reconciliations, and erasure decodes via -op) under two topologies at
+// fixed total cores:
+//
+//   - shared:   one pool of -workers workers, jobs submitted through
+//     parallel.Group (concurrent For batches spread across helpers via
+//     the rotating dispatch offset);
+//   - isolated: J private pools of max(1, workers/J) workers each, the
+//     pool-per-tenant layout a server would otherwise be forced into.
+//
+// It reports wall time and aggregate throughput for each topology and
+// their ratio. On a single-CPU machine the two are expected to be close
+// (everything timeshares one core); the interesting regime is many jobs
+// of tail-heavy work on many cores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/iblt"
+	"repro/internal/mphf"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func randomKeys(n int, seed uint64) []uint64 {
+	gen := rng.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = gen.Uint64()
+		}
+	}
+	return keys
+}
+
+// job is one tenant's workload: run runs one repetition on the given
+// pool; units is the number of "items" (keys/symbols) a repetition
+// processes, for throughput reporting.
+type job struct {
+	run   func(p *parallel.Pool) error
+	units int
+}
+
+func makeJob(op string, nkeys, r int, load float64, seed uint64) job {
+	switch op {
+	case "decode":
+		cells := int(float64(nkeys) / load)
+		keys := randomKeys(nkeys, seed)
+		master := iblt.New(cells, r, seed^0xdec0de)
+		master.InsertAll(keys)
+		return job{units: nkeys, run: func(p *parallel.Pool) error {
+			if res := master.Clone().DecodeParallelFrontierWithPool(p); !res.Complete {
+				return fmt.Errorf("decode incomplete at load %.2f", load)
+			}
+			return nil
+		}}
+	case "build":
+		keys := randomKeys(nkeys, seed)
+		return job{units: nkeys, run: func(p *parallel.Pool) error {
+			_, err := mphf.BuildWithPool(keys, mphf.DefaultGamma, seed, 10, p)
+			return err
+		}}
+	case "reconcile":
+		diff := nkeys/100 + 8
+		common := randomKeys(nkeys, seed)
+		local := append(append([]uint64(nil), common...), randomKeys(diff, seed^1)...)
+		remote := append(append([]uint64(nil), common...), randomKeys(diff, seed^2)...)
+		return job{units: nkeys, run: func(p *parallel.Pool) error {
+			_, _, _, err := iblt.ReconcileWithPool(local, remote, seed, 1.5, p)
+			return err
+		}}
+	case "erasure":
+		cells := int(float64(nkeys)/load/4) + 64
+		code := erasure.NewCode(cells, max(3, r), seed)
+		data := randomKeys(nkeys, seed)
+		checks := code.Encode(data)
+		losses := cells / 2
+		return job{units: nkeys, run: func(p *parallel.Pool) error {
+			got := append([]uint64(nil), data...)
+			present := make([]bool, len(data))
+			gen := rng.New(seed ^ 3)
+			for i := range present {
+				present[i] = true
+			}
+			for _, i := range gen.Perm(len(data))[:losses] {
+				got[i], present[i] = 0, false
+			}
+			return code.DecodeWithPool(got, present, checks, p)
+		}}
+	default:
+		fmt.Fprintf(os.Stderr, "peelload: unknown -op %q (decode|build|reconcile|erasure)\n", op)
+		os.Exit(2)
+		return job{}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	jobs := flag.Int("jobs", 4, "number of concurrent jobs (tenants)")
+	mode := flag.String("mode", "both", "shared | isolated | both")
+	op := flag.String("op", "decode", "workload per job: decode | build | reconcile | erasure")
+	nkeys := flag.Int("keys", 20000, "keys (or symbols) per job")
+	r := flag.Int("r", 3, "subtables / hashes per key")
+	load := flag.Float64("load", 0.75, "IBLT / erasure load factor")
+	reps := flag.Int("reps", 4, "repetitions per job")
+	workers := flag.Int("workers", 0, "total worker budget (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 2014, "base RNG seed")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = parallel.Workers()
+	}
+	tenants := make([]job, *jobs)
+	for j := range tenants {
+		tenants[j] = makeJob(*op, *nkeys, *r, *load, *seed+uint64(j)*0x9e3779b97f4a7c15)
+	}
+	totalUnits := 0
+	for _, t := range tenants {
+		totalUnits += t.units * *reps
+	}
+	fmt.Printf("peelload: op=%s jobs=%d keys/job=%d reps=%d workers=%d\n",
+		*op, *jobs, *nkeys, *reps, w)
+
+	runShared := func() (time.Duration, error) {
+		pool := parallel.NewPool(w)
+		defer pool.Close()
+		group := pool.NewGroup(0)
+		start := time.Now()
+		for j := range tenants {
+			t := tenants[j]
+			group.Go(func(p *parallel.Pool) error {
+				for i := 0; i < *reps; i++ {
+					if err := t.run(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		err := group.Wait()
+		return time.Since(start), err
+	}
+	runIsolated := func() (time.Duration, error) {
+		per := w / *jobs
+		if per < 1 {
+			per = 1
+		}
+		pools := make([]*parallel.Pool, *jobs)
+		for j := range pools {
+			pools[j] = parallel.NewPool(per)
+			defer pools[j].Close()
+		}
+		start := time.Now()
+		done := make(chan error, *jobs)
+		for j := range tenants {
+			go func() {
+				var err error
+				for i := 0; i < *reps && err == nil; i++ {
+					err = tenants[j].run(pools[j])
+				}
+				done <- err
+			}()
+		}
+		var firstErr error
+		for range tenants {
+			if err := <-done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return time.Since(start), firstErr
+	}
+
+	report := func(name string, d time.Duration, err error) float64 {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peelload: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rate := float64(totalUnits) / d.Seconds()
+		fmt.Printf("  %-9s %10v  %12.0f keys/s aggregate\n", name, d.Round(time.Microsecond), rate)
+		return rate
+	}
+
+	var sharedRate, isolatedRate float64
+	if *mode == "shared" || *mode == "both" {
+		d, err := runShared()
+		sharedRate = report("shared", d, err)
+	}
+	if *mode == "isolated" || *mode == "both" {
+		d, err := runIsolated()
+		isolatedRate = report("isolated", d, err)
+	}
+	if *mode == "both" && isolatedRate > 0 {
+		fmt.Printf("  shared/isolated throughput ratio: %.2f\n", sharedRate/isolatedRate)
+	}
+}

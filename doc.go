@@ -39,6 +39,14 @@
 // explicit pool across runs (core.Options.Pool), or let everything ride
 // on the process-wide default pool.
 //
+// The runtime is multi-tenant: a pool may be shared by any number of
+// concurrent jobs (WorkerPool / JobGroup, or parallel.Group directly).
+// Batch dispatch rotates across helper channels so concurrent small
+// batches — tail rounds of simultaneous decodes — spread over distinct
+// helpers, and the ...WithPool decode and build paths keep all working
+// state per call, so a server runs many requests on one pool with no
+// per-request pools, goroutine spawns, or locks in the round loops.
+//
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream
 // keyed by chunk index, and the CSR incidence index is built with a

@@ -53,10 +53,23 @@ func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Fi
 	return BuildWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
 }
 
+// BuildWorkers is Build on a private pool of the given size (workers
+// <= 0 selects the default size), created once for ALL retry attempts
+// and closed before returning — a 10-retry build pays worker startup
+// once, not per attempt. Callers building many filters should share one
+// pool across builds via BuildWithPool instead.
+func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, workers int) (*Filter, error) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	return BuildWithPool(keys, values, gamma, seed, maxTries, pool)
+}
+
 // BuildWithPool is Build with the construction phases (per-key edge
 // hashing on every retry attempt, CSR incidence build) run on an
 // explicit worker pool. Peeling and back-substitution stay sequential;
-// see BuildParallel for the fully parallel pipeline.
+// see BuildParallel for the fully parallel pipeline. All per-build state
+// is owned by the call, so many builds may run concurrently on one
+// shared pool.
 func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
@@ -157,9 +170,19 @@ func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries i
 	return BuildParallelWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
 }
 
+// BuildParallelWorkers is BuildParallel on a private pool of the given
+// size, created once for all retry attempts (hoisted out of the retry
+// loop) and closed before returning.
+func BuildParallelWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, workers int) (*Filter, error) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	return BuildParallelWithPool(keys, values, gamma, seed, maxTries, pool)
+}
+
 // BuildParallelWithPool is BuildParallel with every phase — hashing, CSR
 // build, subround peeling, and layered back-substitution — on an
-// explicit worker pool.
+// explicit worker pool (each retry passes the same pool to the subround
+// peeler via core.Options.Pool, so no per-attempt pool is ever spun up).
 func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))

@@ -1,6 +1,7 @@
 package bloomier
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -226,5 +227,60 @@ func TestBuildWithPoolMatchesDefault(t *testing.T) {
 			}
 		}
 		pool.Close()
+	}
+}
+
+// TestBuildWorkersMatchesBuild checks both hoisted private-pool entry
+// points produce functions identical to their default-pool forms.
+func TestBuildWorkersMatchesBuild(t *testing.T) {
+	keys, values := buildInputs(2500, 81)
+	base, err := Build(keys, values, DefaultGamma, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildWorkers(keys, values, DefaultGamma, 7, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := BuildParallelWorkers(keys, values, DefaultGamma, 7, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if f.Lookup(k) != values[i] || fp.Lookup(k) != values[i] || base.Lookup(k) != values[i] {
+			t.Fatalf("lookup mismatch on key %#x", k)
+		}
+	}
+}
+
+// TestConcurrentStaticMapBuildsSharedPool runs serial-peel and
+// subround-peel builds concurrently on one shared pool.
+func TestConcurrentStaticMapBuildsSharedPool(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	group := pool.NewGroup(4)
+	for j := 0; j < 6; j++ {
+		group.Go(func(p *parallel.Pool) error {
+			keys, values := buildInputs(1500+100*j, uint64(90+j))
+			var f *Filter
+			var err error
+			if j%2 == 0 {
+				f, err = BuildWithPool(keys, values, DefaultGamma, uint64(7+j), 10, p)
+			} else {
+				f, err = BuildParallelWithPool(keys, values, DefaultGamma, uint64(7+j), 10, p)
+			}
+			if err != nil {
+				return err
+			}
+			for i, k := range keys {
+				if f.Lookup(k) != values[i] {
+					return fmt.Errorf("job %d: wrong value for key %#x", j, k)
+				}
+			}
+			return nil
+		})
+	}
+	if err := group.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -34,6 +34,12 @@ type Options struct {
 	// Workers sets the size of a private worker pool for this run; 0
 	// uses Pool if set and otherwise the process-wide default pool
 	// (parallel.Default / parallel.SetDefaultWorkers).
+	//
+	// Workers > 0 spins the pool up and tears it down on EVERY peeler
+	// call, so Options with Workers set must not be reused across a loop
+	// (retry loops in builders, per-request serving loops) — each
+	// iteration would pay worker startup again. Hoist with AcquirePool
+	// and pass Options{Pool: p} instead.
 	Workers int
 
 	// Pool runs the peel on an explicit persistent pool, amortizing
@@ -41,9 +47,14 @@ type Options struct {
 	Pool *parallel.Pool
 }
 
-// pool resolves the worker pool a run executes on and a release func to
-// call when the run finishes (a no-op unless the run owns the pool).
-func (o Options) pool() (*parallel.Pool, func()) {
+// AcquirePool resolves the worker pool a run with these Options would
+// execute on, returning it together with a release func (a no-op unless
+// the call created the pool, i.e. Workers > 0). The peelers call it once
+// per run; callers that peel repeatedly — builder retry loops, servers
+// peeling per request — should AcquirePool once themselves, defer
+// release, and run every iteration with Options{Pool: p} so worker
+// startup is paid once.
+func (o Options) AcquirePool() (pool *parallel.Pool, release func()) {
 	if o.Workers > 0 {
 		p := parallel.NewPool(o.Workers)
 		return p, p.Close
@@ -53,6 +64,9 @@ func (o Options) pool() (*parallel.Pool, func()) {
 	}
 	return parallel.Default(), func() {}
 }
+
+// pool is the internal alias the peelers use.
+func (o Options) pool() (*parallel.Pool, func()) { return o.AcquirePool() }
 
 // roundBuffers holds the per-worker append shards a peel reuses across
 // rounds. Worker w appends only to index w (the pool guarantees chunks

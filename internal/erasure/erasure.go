@@ -17,18 +17,25 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
 // Cell is one check symbol: the XOR of the values of the data symbols
 // hashed to it, a XOR of their (index+1) tags, a count, and a checksum
-// that guards pure-cell detection after subtraction.
+// that guards pure-cell detection after subtraction. Layout matters for
+// applyAtomic's 64-bit atomics on 32-bit platforms: the uint64 fields
+// lead and the explicit tail padding keeps the struct size a multiple
+// of 8, so every element of a []Cell (whose backing array the allocator
+// 8-aligns) has 8-aligned uint64 fields.
 type Cell struct {
-	Count    int32
 	IdxSum   uint64 // XOR of (index+1); +1 keeps index 0 representable
 	ValueSum uint64 // XOR of symbol values
 	CheckSum uint64 // XOR of per-symbol checksums
+	Count    int32
+	_        [4]byte
 }
 
 // Code is a (cells, r, seed) configuration. Encoding and decoding must
@@ -103,6 +110,46 @@ func (c *Code) Encode(data []uint64) []Cell {
 	return checks
 }
 
+// EncodeWithPool is Encode with the per-symbol cell updates fanned out
+// over an explicit worker pool using atomic XOR/add — the erasure analog
+// of the IBLT's parallel insertion phase. The resulting check block is
+// cell-for-cell identical to Encode's (XOR updates commute). All
+// per-call state is owned by the call, so concurrent encodes may share
+// one pool.
+func (c *Code) EncodeWithPool(data []uint64, pool *parallel.Pool) []Cell {
+	checks := make([]Cell, c.cells)
+	// Per-worker position buffers: chunks with the same worker ID never
+	// run concurrently within this call, and the buffers are call-local,
+	// so concurrent jobs sharing the pool cannot collide.
+	posBufs := make([][]int, pool.Workers())
+	for w := range posBufs {
+		posBufs[w] = make([]int, c.r)
+	}
+	pool.For(len(data), 2048, func(w, lo, hi int) {
+		pos := posBufs[w]
+		for i := lo; i < hi; i++ {
+			c.applyAtomic(checks, i, data[i], pos, 1)
+		}
+	})
+	return checks
+}
+
+// applyAtomic adds (delta = +1) or subtracts (delta = -1) symbol i with
+// value v into cells using atomic updates — the concurrent analog of
+// subtract, shared by EncodeWithPool and DecodeWithPool. pos is the
+// caller's scratch buffer (one per worker; same-ID chunks never run
+// concurrently within a For call).
+func (c *Code) applyAtomic(cells []Cell, i int, v uint64, pos []int, delta int32) {
+	cs := c.checksum(i)
+	c.positions(i, pos)
+	for _, p := range pos {
+		atomic.AddInt32(&cells[p].Count, delta)
+		parallel.XorUint64(&cells[p].IdxSum, uint64(i+1))
+		parallel.XorUint64(&cells[p].ValueSum, v)
+		parallel.XorUint64(&cells[p].CheckSum, cs)
+	}
+}
+
 // ErrDecodeFailed reports that peeling stalled — the erased symbols'
 // hypergraph had a non-empty 2-core (loss rate above the threshold).
 var ErrDecodeFailed = errors.New("erasure: peeling stalled; too many erasures")
@@ -136,8 +183,50 @@ func (c *Code) Decode(data []uint64, present []bool, checks []Cell) error {
 	if missing == 0 {
 		return nil
 	}
+	return c.peel(work, data, present, missing)
+}
 
-	// Queue-driven peel of pure cells.
+// DecodeWithPool is Decode with the received-symbol subtraction pass —
+// the O(data) part that dominates when few symbols are missing — fanned
+// out over an explicit worker pool with atomic cell updates. The peel of
+// the (small) missing set stays serial. Results are identical to Decode.
+// All per-call state is owned by the call, so concurrent decodes may
+// share one pool (the multi-tenant serving pattern; see parallel.Group).
+func (c *Code) DecodeWithPool(data []uint64, present []bool, checks []Cell, pool *parallel.Pool) error {
+	if len(data) != len(present) {
+		panic("erasure: data/present length mismatch")
+	}
+	if len(checks) != c.cells {
+		panic("erasure: wrong check block size")
+	}
+	work := make([]Cell, c.cells)
+	copy(work, checks)
+	posBufs := make([][]int, pool.Workers())
+	for w := range posBufs {
+		posBufs[w] = make([]int, c.r)
+	}
+	missingCount := pool.NewCounter()
+	pool.For(len(data), 2048, func(w, lo, hi int) {
+		pos := posBufs[w]
+		for i := lo; i < hi; i++ {
+			if !present[i] {
+				missingCount.Add(w, 1)
+				continue
+			}
+			c.applyAtomic(work, i, data[i], pos, -1)
+		}
+	})
+	missing := int(missingCount.Sum())
+	if missing == 0 {
+		return nil
+	}
+	return c.peel(work, data, present, missing)
+}
+
+// peel runs the queue-driven serial peel of pure cells shared by Decode
+// and DecodeWithPool, filling recovered symbols into data/present.
+func (c *Code) peel(work []Cell, data []uint64, present []bool, missing int) error {
+	pos := make([]int, c.r)
 	queue := make([]int, 0, 256)
 	for p := range work {
 		if c.pure(&work[p]) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/threshold"
 )
@@ -228,5 +229,74 @@ func BenchmarkDecode(b *testing.B) {
 		if err := code.Decode(scratchD, scratchP, checks); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestEncodeWithPoolMatchesSerial checks the pool-threaded encoder is
+// cell-for-cell identical to the serial one (XOR/add updates commute).
+func TestEncodeWithPoolMatchesSerial(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	data := randomData(20000, 21)
+	code := NewCode(1500, 3, 7)
+	serial := code.Encode(data)
+	pooled := code.EncodeWithPool(data, pool)
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Fatalf("cell %d differs: serial %+v pooled %+v", i, serial[i], pooled[i])
+		}
+	}
+}
+
+// TestDecodeWithPoolMatchesSerial checks the pool-threaded decoder
+// recovers exactly what the serial one does, on both succeeding and
+// stalling loss rates.
+func TestDecodeWithPoolMatchesSerial(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	data := randomData(20000, 22)
+	code := NewCode(1500, 3, 7)
+	checks := code.EncodeWithPool(data, pool)
+	for _, losses := range []int{0, 1000, 1400} {
+		gotS, presentS := erase(data, losses, 23)
+		gotP, presentP := erase(data, losses, 23)
+		errS := code.Decode(gotS, presentS, checks)
+		errP := code.DecodeWithPool(gotP, presentP, checks, pool)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("losses %d: serial err=%v pooled err=%v", losses, errS, errP)
+		}
+		for i := range data {
+			if gotS[i] != gotP[i] || presentS[i] != presentP[i] {
+				t.Fatalf("losses %d: symbol %d diverges between serial and pooled decode", losses, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentErasureJobsSharedPool runs several encode+decode jobs
+// concurrently on one shared pool (the multi-tenant serving pattern).
+func TestConcurrentErasureJobsSharedPool(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	group := pool.NewGroup(0)
+	for j := 0; j < 6; j++ {
+		group.Go(func(p *parallel.Pool) error {
+			data := randomData(8000+500*j, uint64(30+j))
+			code := NewCode(1200, 3, uint64(7+j))
+			checks := code.EncodeWithPool(data, p)
+			corrupted, present := erase(data, 700, uint64(90+j))
+			if err := code.DecodeWithPool(corrupted, present, checks, p); err != nil {
+				return err
+			}
+			for i := range data {
+				if corrupted[i] != data[i] {
+					return errors.New("recovered symbol mismatch")
+				}
+			}
+			return nil
+		})
+	}
+	if err := group.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,20 +1,25 @@
 package iblt
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/parallel"
 )
 
-// DecodeParallelFrontier is a work-efficient variant of DecodeParallel:
-// instead of rescanning every cell in every subround (the paper's GPU
-// strategy, whose above-threshold cost the paper itself points out), it
-// scans the table once and then tracks only *candidate* cells — cells
-// touched by a deletion since they were last examined. Total work becomes
-// proportional to table size plus peeling work, like the serial decoder,
-// while the subround structure (and its exactly-once guarantee) is
-// unchanged.
+// DecodeParallelFrontier is DecodeParallelFrontierWithPool on the
+// process-wide default pool.
+func (t *Table) DecodeParallelFrontier() *ParallelResult {
+	return t.DecodeParallelFrontierWithPool(parallel.Default())
+}
+
+// DecodeParallelFrontierWithPool is a work-efficient variant of
+// DecodeParallelWithPool: instead of rescanning every cell in every
+// subround (the paper's GPU strategy, whose above-threshold cost the
+// paper itself points out), it scans the table once and then tracks only
+// *candidate* cells — cells touched by a deletion since they were last
+// examined. Total work becomes proportional to table size plus peeling
+// work, like the serial decoder, while the subround structure (and its
+// exactly-once guarantee) is unchanged.
 //
 // This is an engineering extension beyond the paper: it is to
 // DecodeParallel what the core package's Frontier scan policy is to its
@@ -23,8 +28,14 @@ import (
 // DecodeParallel because a candidate examined mid-round reflects
 // deletions from the current subround rather than only earlier rounds —
 // peeling confluence makes that harmless.
-func (t *Table) DecodeParallelFrontier() *ParallelResult {
+//
+// All working state — candidate lists, pending flags, and the per-worker
+// shards below — is owned by this call, so concurrent decodes on one
+// shared pool are safe (the multi-tenant serving pattern; see
+// parallel.Group).
+func (t *Table) DecodeParallelFrontierWithPool(pool *parallel.Pool) *ParallelResult {
 	res := &ParallelResult{}
+	workers := pool.Workers()
 
 	// pending[c] != 0 while cell c sits in a candidate list; the CAS
 	// guard guarantees each cell has at most one pending entry, which is
@@ -42,7 +53,16 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 		}
 	}
 
-	var mu sync.Mutex
+	// Per-worker shards, reused across subrounds: worker w's recovered
+	// keys land in shards, and relist[w][jj] collects the cells worker w
+	// re-enlisted for subtable jj. Merged at the subround barrier — no
+	// mutex, no per-chunk allocation.
+	shards := newRecoveryShards(workers)
+	relist := make([][][]int, workers)
+	for w := range relist {
+		relist[w] = make([][]int, t.r)
+	}
+
 	var peel []int
 	subround := 0
 	for round := 1; ; round++ {
@@ -63,10 +83,9 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 				atomic.StoreUint32(&pending[c], 0)
 			}
 
-			got := 0
-			parallel.For(len(peel), 512, func(lo, hi int) {
-				var added, removed []uint64
-				local := make([][]int, t.r)
+			pool.For(len(peel), 512, func(w, lo, hi int) {
+				added, removed := shards.added[w], shards.removed[w]
+				local := relist[w]
 				for idx := lo; idx < hi; idx++ {
 					i := peel[idx]
 					x, sign, isPure := t.pureAtomic(i)
@@ -77,8 +96,8 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 					for jj := 0; jj < t.r; jj++ {
 						c := t.cellIndex(x, jj)
 						atomic.AddInt64(&t.count[c], -sign)
-						atomicXor(&t.keySum[c], x)
-						atomicXor(&t.checkSum[c], cs)
+						parallel.XorUint64(&t.keySum[c], x)
+						parallel.XorUint64(&t.checkSum[c], cs)
 						// Re-enlist the touched cell (once) so it is
 						// re-examined in its subtable's next subround.
 						if c != i && atomic.CompareAndSwapUint32(&pending[c], 0, 1) {
@@ -91,18 +110,15 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 						removed = append(removed, x)
 					}
 				}
-				if len(added)+len(removed) > 0 || anyNonEmpty(local) {
-					mu.Lock()
-					res.Added = append(res.Added, added...)
-					res.Removed = append(res.Removed, removed...)
-					got += len(added) + len(removed)
-					for jj := 0; jj < t.r; jj++ {
-						cands[jj] = append(cands[jj], local[jj]...)
-					}
-					mu.Unlock()
-				}
+				shards.added[w], shards.removed[w] = added, removed
 			})
-			if got > 0 {
+			for w := range relist {
+				for jj := 0; jj < t.r; jj++ {
+					cands[jj] = append(cands[jj], relist[w][jj]...)
+					relist[w][jj] = relist[w][jj][:0]
+				}
+			}
+			if got := shards.drainInto(res); got > 0 {
 				res.Subrounds = subround
 				recoveredThisRound += got
 			}
@@ -116,13 +132,4 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 	}
 	res.Complete = t.empty()
 	return res
-}
-
-func anyNonEmpty(lists [][]int) bool {
-	for _, l := range lists {
-		if len(l) > 0 {
-			return true
-		}
-	}
-	return false
 }

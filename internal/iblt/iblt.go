@@ -32,7 +32,6 @@ package iblt
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/parallel"
@@ -156,21 +155,11 @@ func (t *Table) applyAll(keys []uint64, delta int64, pool *parallel.Pool) {
 			for j := 0; j < t.r; j++ {
 				c := t.cellIndex(x, j)
 				atomic.AddInt64(&t.count[c], delta)
-				atomicXor(&t.keySum[c], x)
-				atomicXor(&t.checkSum[c], cs)
+				parallel.XorUint64(&t.keySum[c], x)
+				parallel.XorUint64(&t.checkSum[c], cs)
 			}
 		}
 	})
-}
-
-// atomicXor XORs v into *p with a CAS loop (sync/atomic has no XOR).
-func atomicXor(p *uint64, v uint64) {
-	for {
-		old := atomic.LoadUint64(p)
-		if atomic.CompareAndSwapUint64(p, old, old^v) {
-			return
-		}
-	}
 }
 
 // Clone returns a deep copy (decoding is destructive; clone first to keep
@@ -271,28 +260,70 @@ type ParallelResult struct {
 	Complete  bool // table fully decoded
 }
 
-// DecodeParallel peels the table with the paper's GPU recovery algorithm:
-// rounds of r serial subrounds, each subround scanning one subtable's
-// cells in parallel and deleting recovered keys from all subtables with
-// atomic updates. Within a subround each key occupies exactly one cell of
-// the scanned subtable, so it can be recovered at most once; concurrent
-// deletions into the same cell are serialized by the atomics, and a cell
-// whose fields are read while racing a deletion fails its checksum and is
-// simply retried in the next round (the per-round progress guarantee
-// makes that retry sound: a raced deletion implies the round recovered
-// something, so another round follows).
+// DecodeParallel peels the table with the paper's GPU recovery algorithm
+// on the process-wide default pool; see DecodeParallelWithPool.
 func (t *Table) DecodeParallel() *ParallelResult {
+	return t.DecodeParallelWithPool(parallel.Default())
+}
+
+// recoveryShards holds the per-worker result buffers one decode job owns
+// and reuses across subrounds: worker w appends recovered keys only to
+// index w (the pool serializes same-ID chunks within a call), and the
+// subround barrier drains every shard — no mutex in the scan, and no
+// allocation after the first subround. The buffers belong to the decode
+// call, so concurrent decode jobs sharing one pool never collide.
+type recoveryShards struct {
+	added   [][]uint64
+	removed [][]uint64
+}
+
+func newRecoveryShards(workers int) *recoveryShards {
+	return &recoveryShards{
+		added:   make([][]uint64, workers),
+		removed: make([][]uint64, workers),
+	}
+}
+
+// drainInto appends every shard to the result, returning the number of
+// keys recovered since the last drain, and resets the shards (keeping
+// capacity).
+func (s *recoveryShards) drainInto(res *ParallelResult) int {
+	got := 0
+	for w := range s.added {
+		got += len(s.added[w]) + len(s.removed[w])
+		res.Added = append(res.Added, s.added[w]...)
+		res.Removed = append(res.Removed, s.removed[w]...)
+		s.added[w] = s.added[w][:0]
+		s.removed[w] = s.removed[w][:0]
+	}
+	return got
+}
+
+// DecodeParallelWithPool peels the table with the paper's GPU recovery
+// algorithm on an explicit worker pool: rounds of r serial subrounds,
+// each subround scanning one subtable's cells in parallel and deleting
+// recovered keys from all subtables with atomic updates. Within a
+// subround each key occupies exactly one cell of the scanned subtable,
+// so it can be recovered at most once; concurrent deletions into the
+// same cell are serialized by the atomics, and a cell whose fields are
+// read while racing a deletion fails its checksum and is simply retried
+// in the next round (the per-round progress guarantee makes that retry
+// sound: a raced deletion implies the round recovered something, so
+// another round follows).
+//
+// All working state is owned by this call, so many decodes may run
+// concurrently on one shared pool (e.g. as parallel.Group jobs).
+func (t *Table) DecodeParallelWithPool(pool *parallel.Pool) *ParallelResult {
 	res := &ParallelResult{}
-	var mu sync.Mutex
+	shards := newRecoveryShards(pool.Workers())
 	subround := 0
 	for round := 1; ; round++ {
 		recoveredThisRound := 0
 		for j := 0; j < t.r; j++ {
 			subround++
-			got := 0
 			base := j * t.subSize
-			parallel.For(t.subSize, 1024, func(lo, hi int) {
-				var added, removed []uint64
+			pool.For(t.subSize, 1024, func(w, lo, hi int) {
+				added, removed := shards.added[w], shards.removed[w]
 				for ci := lo; ci < hi; ci++ {
 					i := base + ci
 					x, sign, isPure := t.pureAtomic(i)
@@ -304,8 +335,8 @@ func (t *Table) DecodeParallel() *ParallelResult {
 					for jj := 0; jj < t.r; jj++ {
 						c := t.cellIndex(x, jj)
 						atomic.AddInt64(&t.count[c], -sign)
-						atomicXor(&t.keySum[c], x)
-						atomicXor(&t.checkSum[c], cs)
+						parallel.XorUint64(&t.keySum[c], x)
+						parallel.XorUint64(&t.checkSum[c], cs)
 					}
 					if sign > 0 {
 						added = append(added, x)
@@ -313,15 +344,9 @@ func (t *Table) DecodeParallel() *ParallelResult {
 						removed = append(removed, x)
 					}
 				}
-				if len(added)+len(removed) > 0 {
-					mu.Lock()
-					res.Added = append(res.Added, added...)
-					res.Removed = append(res.Removed, removed...)
-					got += len(added) + len(removed)
-					mu.Unlock()
-				}
+				shards.added[w], shards.removed[w] = added, removed
 			})
-			if got > 0 {
+			if got := shards.drainInto(res); got > 0 {
 				res.Subrounds = subround
 				recoveredThisRound += got
 			}

@@ -3,7 +3,9 @@ package iblt
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -152,8 +154,23 @@ func (e *StrataEstimator) UnmarshalBinary(data []byte) error {
 //
 // This is a protocol harness for tests and examples — real deployments
 // would ship the estimator and table over a network; the data flow and
-// byte counts are identical.
+// byte counts are identical. It runs on the process-wide default pool;
+// servers reconciling many pairs concurrently should use
+// ReconcileWithPool so every request shares one pool.
 func Reconcile(localKeys, remoteKeys []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	return ReconcileWithPool(localKeys, remoteKeys, seed, headroom, parallel.Default())
+}
+
+// ReconcileWithPool is Reconcile with the bulk inserts and the
+// difference-table decode pinned to an explicit worker pool (the
+// ...WithPool insert and frontier-decode paths), so a reconciliation job
+// never escapes to the default pool. All per-request state is owned by
+// the call, making it safe to run many reconciliations concurrently on
+// one shared pool (e.g. as parallel.Group jobs). The returned difference
+// sides are sorted, so the output is identical at every pool size (the
+// parallel decoder's recovery order is scheduling-dependent; the
+// recovered *set* is not, by peeling confluence).
+func ReconcileWithPool(localKeys, remoteKeys []uint64, seed uint64, headroom float64, pool *parallel.Pool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
 	if headroom < 1.25 {
 		headroom = 1.25
 	}
@@ -175,14 +192,16 @@ func Reconcile(localKeys, remoteKeys []uint64, seed uint64, headroom float64) (o
 		cells = 48
 	}
 	lt := New(cells, 3, rng.Mix64(seed^0x2545f4914f6cdd1d))
-	lt.InsertAll(localKeys)
+	lt.InsertAllWithPool(localKeys, pool)
 	rt := New(cells, 3, rng.Mix64(seed^0x2545f4914f6cdd1d))
-	rt.InsertAll(remoteKeys)
+	rt.InsertAllWithPool(remoteKeys, pool)
 	wireBytes += rt.WireSize()
 	lt.Subtract(rt)
-	added, removed, ok := lt.Decode()
-	if !ok {
+	res := lt.DecodeParallelFrontierWithPool(pool)
+	if !res.Complete {
 		return nil, nil, wireBytes, fmt.Errorf("iblt: reconciliation IBLT failed to decode (estimate %d, cells %d)", est, cells)
 	}
-	return added, removed, wireBytes, nil
+	slices.Sort(res.Added)
+	slices.Sort(res.Removed)
+	return res.Added, res.Removed, wireBytes, nil
 }

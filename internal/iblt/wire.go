@@ -65,6 +65,12 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 	if r < 2 || r > 8 || subSize <= 0 {
 		return fmt.Errorf("%w: geometry r=%d subSize=%d", ErrBadWireFormat, r, subSize)
 	}
+	// subSize is attacker-controlled: bound it by what the payload can
+	// actually hold BEFORE any size arithmetic, so headerSize+n*cellSize
+	// can neither overflow int nor drive a huge allocation in New.
+	if maxSub := (len(data) - headerSize) / (cellSize * r); subSize > maxSub {
+		return fmt.Errorf("%w: subSize %d exceeds %d-byte payload", ErrBadWireFormat, subSize, len(data))
+	}
 	n := subSize * r
 	if len(data) != headerSize+n*cellSize {
 		return fmt.Errorf("%w: length %d, want %d", ErrBadWireFormat, len(data), headerSize+n*cellSize)

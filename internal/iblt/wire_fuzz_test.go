@@ -1,0 +1,114 @@
+package iblt
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestWireRejectsAdversarialGeometry covers the header-validation order
+// bug: subSize is attacker-controlled and was multiplied into a length
+// check before being bounded by the payload, so a huge value could
+// overflow the arithmetic or drive a giant allocation in New. Every
+// hostile header must come back as ErrBadWireFormat without allocating
+// table-sized memory.
+func TestWireRejectsAdversarialGeometry(t *testing.T) {
+	valid := func() []byte {
+		table := New(96, 3, 5)
+		table.Insert(7)
+		data, err := table.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"subSize 2^62 (overflows n*cellSize)": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:], 1<<62)
+			return d
+		},
+		"subSize 2^63 (negative as int)": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:], 1<<63)
+			return d
+		},
+		"subSize max uint64": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:], ^uint64(0))
+			return d
+		},
+		// headerSize+n*cellSize wraps around int64 to a small positive
+		// value: subSize chosen so subSize*r*cellSize ≈ 2^64 + small.
+		"subSize tuned to wrap length check": func(d []byte) []byte {
+			r := uint64(binary.LittleEndian.Uint16(d[6:]))
+			binary.LittleEndian.PutUint64(d[8:], (1<<64-1)/(r*cellSize)+1)
+			return d
+		},
+		"subSize one cell too many": func(d []byte) []byte {
+			cur := binary.LittleEndian.Uint64(d[8:])
+			binary.LittleEndian.PutUint64(d[8:], cur+1)
+			return d
+		},
+		"subSize zero": func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:], 0)
+			return d
+		},
+		"r zero": func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[6:], 0)
+			return d
+		},
+		"r nine": func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[6:], 9)
+			return d
+		},
+	}
+	for name, corrupt := range cases {
+		var tbl Table
+		if err := tbl.UnmarshalBinary(corrupt(valid())); !errors.Is(err, ErrBadWireFormat) {
+			t.Errorf("%s: err = %v, want ErrBadWireFormat", name, err)
+		}
+	}
+}
+
+// FuzzUnmarshalBinary throws arbitrary payloads at the parser: it must
+// either reject with an error or produce a table whose geometry matches
+// the payload it was parsed from — never panic, never allocate beyond
+// the payload's implied size.
+func FuzzUnmarshalBinary(f *testing.F) {
+	table := New(96, 3, 5)
+	table.Insert(42)
+	table.Insert(99)
+	seedData, _ := table.MarshalBinary()
+	f.Add(seedData)
+	f.Add([]byte{})
+	f.Add([]byte("IBLT"))
+	short := append([]byte(nil), seedData[:headerSize]...)
+	f.Add(short)
+	huge := append([]byte(nil), seedData...)
+	binary.LittleEndian.PutUint64(huge[8:], 1<<62)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tbl Table
+		if err := tbl.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrBadWireFormat) {
+				t.Fatalf("non-wire error: %v", err)
+			}
+			return
+		}
+		// Accepted: the geometry must be exactly what the payload holds.
+		if got, want := tbl.WireSize(), len(data); got != want {
+			t.Fatalf("accepted payload of %d bytes but WireSize() = %d", want, got)
+		}
+		if tbl.R() < 2 || tbl.R() > 8 {
+			t.Fatalf("accepted r = %d outside [2, 8]", tbl.R())
+		}
+		// A valid table must round-trip.
+		back, err := tbl.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(data) {
+			t.Fatalf("round-trip size %d != %d", len(back), len(data))
+		}
+	})
+}

@@ -60,10 +60,25 @@ func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, erro
 	return BuildWithPool(keys, gamma, seed, maxTries, parallel.Default())
 }
 
+// BuildWorkers is Build on a private pool of the given size (workers
+// <= 0 selects the default size). The pool is created once for ALL
+// retry attempts and closed before returning, so a 10-retry build pays
+// worker startup exactly once — the hoisted form of the per-call pool
+// spin-up that core.Options{Workers: n} would cost inside a loop.
+// Callers building many functions should instead share one pool across
+// builds via BuildWithPool (e.g. as parallel.Group jobs).
+func BuildWorkers(keys []uint64, gamma float64, seed uint64, maxTries, workers int) (*MPHF, error) {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	return BuildWithPool(keys, gamma, seed, maxTries, pool)
+}
+
 // BuildWithPool is Build with the construction phases (per-key edge
 // hashing on every retry attempt, CSR incidence build) run on an
 // explicit worker pool. Peeling and g-value assignment stay sequential —
-// they produce the peel order the assignment consumes.
+// they produce the peel order the assignment consumes. All per-build
+// state is owned by the call, so many builds may run concurrently on
+// one shared pool.
 func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	if gamma < 1.1 {
 		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)

@@ -2,6 +2,7 @@ package mphf
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -207,5 +208,111 @@ func TestBuildWithPoolMatchesDefault(t *testing.T) {
 			}
 		}
 		pool.Close()
+	}
+}
+
+// TestBuildWorkersMatchesBuild checks the hoisted private-pool entry
+// point produces the identical function (same seed → same attempt
+// sequence → same g values).
+func TestBuildWorkersMatchesBuild(t *testing.T) {
+	keys := randomKeys(3000, 71)
+	base, err := Build(keys, DefaultGamma, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := BuildWorkers(keys, DefaultGamma, 7, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if f.Lookup(k) != base.Lookup(k) {
+			t.Fatalf("BuildWorkers lookup diverges on key %#x", k)
+		}
+	}
+}
+
+// TestConcurrentBuildsSharedPool runs several MPHF builds concurrently
+// on one shared pool; each must be a valid MPHF over its own key set.
+func TestConcurrentBuildsSharedPool(t *testing.T) {
+	pool := parallel.NewPool(3)
+	defer pool.Close()
+	group := pool.NewGroup(0)
+	for j := 0; j < 6; j++ {
+		group.Go(func(p *parallel.Pool) error {
+			keys := randomKeys(2000+100*j, uint64(80+j))
+			f, err := BuildWithPool(keys, DefaultGamma, uint64(7+j), 10, p)
+			if err != nil {
+				return err
+			}
+			seen := make([]bool, f.Keys())
+			for _, k := range keys {
+				v := f.Lookup(k)
+				if v < 0 || v >= f.Keys() || seen[v] {
+					return fmt.Errorf("job %d: lookup not a bijection at key %#x", j, k)
+				}
+				seen[v] = true
+			}
+			return nil
+		})
+	}
+	if err := group.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkConcurrentBuild measures aggregate MPHF build throughput of J
+// concurrent jobs under the two serving topologies: one shared pool of W
+// workers (parallel.Group) vs J isolated pools of max(1, W/J) workers
+// (fixed total cores).
+func BenchmarkConcurrentBuild(b *testing.B) {
+	workers := parallel.Workers()
+	if workers < 4 {
+		workers = 4
+	}
+	keys := randomKeys(20000, 5)
+	buildJob := func(p *parallel.Pool, reps, j int) error {
+		for i := 0; i < reps; i++ {
+			if _, err := BuildWithPool(keys, DefaultGamma, uint64(7+j), 10, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("SharedPool/jobs=%d", jobs), func(b *testing.B) {
+			pool := parallel.NewPool(workers)
+			defer pool.Close()
+			b.ResetTimer()
+			group := pool.NewGroup(0)
+			for j := 0; j < jobs; j++ {
+				group.Go(func(p *parallel.Pool) error { return buildJob(p, b.N/jobs+1, j) })
+			}
+			if err := group.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(keys)), "keys/op")
+		})
+		b.Run(fmt.Sprintf("IsolatedPools/jobs=%d", jobs), func(b *testing.B) {
+			per := workers / jobs
+			if per < 1 {
+				per = 1
+			}
+			pools := make([]*parallel.Pool, jobs)
+			for j := range pools {
+				pools[j] = parallel.NewPool(per)
+				defer pools[j].Close()
+			}
+			b.ResetTimer()
+			done := make(chan error, jobs)
+			for j := 0; j < jobs; j++ {
+				go func() { done <- buildJob(pools[j], b.N/jobs+1, j) }()
+			}
+			for j := 0; j < jobs; j++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(keys)), "keys/op")
+		})
 	}
 }

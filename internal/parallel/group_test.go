@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupRunsAllJobs(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	g := p.NewGroup(0)
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func(pool *Pool) error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v", err)
+	}
+	if got := ran.Load(); got != 20 {
+		t.Errorf("ran %d jobs, want 20", got)
+	}
+}
+
+// TestGroupJobsUsePool checks the core multi-tenant pattern: every job
+// issues For calls on the shared pool with its own per-worker shards,
+// and each job's result is exact. Under -race this exercises the
+// concurrent-submitter path end to end.
+func TestGroupJobsUsePool(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	g := p.NewGroup(4)
+	sums := make([]int64, 16)
+	for j := range sums {
+		g.Go(func(pool *Pool) error {
+			n := 1000 + j
+			shards := make([]int64, pool.Workers())
+			for rep := 0; rep < 5; rep++ {
+				for w := range shards {
+					shards[w] = 0
+				}
+				pool.For(n, 64, func(w, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						shards[w] += int64(i)
+					}
+				})
+				var total int64
+				for _, s := range shards {
+					total += s
+				}
+				sums[j] = total
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for j, got := range sums {
+		n := int64(1000 + j)
+		if want := n * (n - 1) / 2; got != want {
+			t.Errorf("job %d: sum %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestGroupFirstErrorWins(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup(1) // serialize so "first" is deterministic
+	errBoom := errors.New("boom")
+	var after atomic.Bool
+	g.Go(func(pool *Pool) error { return errBoom })
+	g.Go(func(pool *Pool) error { after.Store(true); return errors.New("later") })
+	if err := g.Wait(); !errors.Is(err, errBoom) {
+		t.Errorf("Wait() = %v, want %v", err, errBoom)
+	}
+	if !after.Load() {
+		t.Error("a failing job cancelled later jobs; they must still run")
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	const limit = 3
+	g := p.NewGroup(limit)
+	var running, peak atomic.Int64
+	for i := 0; i < 24; i++ {
+		g.Go(func(pool *Pool) error {
+			r := running.Add(1)
+			for {
+				old := peak.Load()
+				if r <= old || peak.CompareAndSwap(old, r) {
+					break
+				}
+			}
+			pool.For(500, 64, func(w, lo, hi int) {})
+			running.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > limit {
+		t.Errorf("peak concurrent jobs %d exceeds limit %d", got, limit)
+	}
+}

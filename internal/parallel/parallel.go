@@ -111,6 +111,19 @@ func (b *Bitset) Count() int {
 	return total
 }
 
+// XorUint64 XORs v into *p atomically with a CAS loop (sync/atomic has
+// no XOR). It is the cell-update primitive shared by the IBLT insert and
+// decode paths and the erasure encoder: XOR is commutative and
+// associative, so concurrent updates to one cell serialize in any order.
+func XorUint64(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, old, old^v) {
+			return
+		}
+	}
+}
+
 // Counter is a sharded counter: concurrent Add calls land on per-shard
 // cache lines, and Sum folds them at a barrier.
 type Counter struct {

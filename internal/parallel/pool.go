@@ -18,9 +18,19 @@ import (
 // always in [0, Workers()).
 //
 // A Pool may be shared: concurrent For/Run calls from different
-// goroutines are safe (batches queue per worker and run in submission
-// order). The batch function must not itself call For/Run on the same
-// pool — workers do not steal nested work, so reentrant submission can
+// goroutines are safe (batches queue per helper and run in submission
+// order), and batches that wake only a subset of the helpers are
+// dispatched starting at a rotating offset, so simultaneous small jobs
+// spread across distinct helpers instead of all queueing on the first
+// few channels. The worker-ID contract extends to the concurrent case
+// per *call*: within one For/Run, chunks with the same ID never run
+// concurrently, but two concurrent calls both observe the full ID range
+// (each submitter is its own worker 0), so per-worker state must be
+// owned by the call (a "job"), never shared between concurrent calls.
+// Group packages that pattern.
+//
+// The batch function must not itself call For/Run on the same pool —
+// workers do not steal nested work, so reentrant submission can
 // deadlock. Close must not race with in-flight calls.
 type Pool struct {
 	workers int
@@ -28,6 +38,11 @@ type Pool struct {
 	// goroutine. Capacity 1 lets a submitter hand off every batch
 	// without waiting for parked helpers to wake.
 	chans []chan batch
+	// next is the rotating dispatch cursor: each submission claims a
+	// window of helper channels starting here, so concurrent submitters
+	// of partial batches (tail rounds, small jobs) fan out across the
+	// helper set instead of hammering chans[0].
+	next atomic.Uint32
 }
 
 type batch struct {
@@ -64,7 +79,11 @@ func (p *Pool) Workers() int { return p.workers }
 // every worker has finished.
 func (p *Pool) Run(fn func(w int)) { p.run(p.workers-1, fn) }
 
-// run dispatches fn to helpers 1..helpers, runs fn(0) inline, and waits.
+// run dispatches fn to `helpers` distinct helper workers, runs fn(0)
+// inline, and waits. The helper window starts at a rotating offset
+// (atomically reserved per submission) so concurrent partial batches
+// land on disjoint helpers when capacity allows; each helper still
+// reports its own fixed worker ID.
 func (p *Pool) run(helpers int, fn func(w int)) {
 	if helpers <= 0 {
 		fn(0)
@@ -73,8 +92,9 @@ func (p *Pool) run(helpers int, fn func(w int)) {
 	var wg sync.WaitGroup
 	wg.Add(helpers)
 	b := batch{fn: fn, wg: &wg}
+	start := int((p.next.Add(uint32(helpers)) - uint32(helpers)) % uint32(len(p.chans)))
 	for i := 0; i < helpers; i++ {
-		p.chans[i] <- b
+		p.chans[(start+i)%len(p.chans)] <- b
 	}
 	fn(0)
 	wg.Wait()

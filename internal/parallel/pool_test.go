@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -202,6 +203,114 @@ func TestDefaultPoolAndSetWorkers(t *testing.T) {
 	SetDefaultWorkers(0)
 	if got := Default().Workers(); got != Workers() {
 		t.Errorf("Default().Workers() = %d after reset, want %d", got, Workers())
+	}
+}
+
+// TestPoolDispatchRotates checks the multi-tenant dispatch fix: small
+// batches that wake only a few helpers must not all land on the same
+// low-numbered channels. Sequential single-helper submissions rotate the
+// start offset, so over workers-1 submissions more than one distinct
+// helper ID must appear (before the fix every such batch woke helper 1).
+func TestPoolDispatchRotates(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	defer p.Close()
+	seen := make(map[int]bool)
+	var mu sync.Mutex
+	// run(1, fn) wakes exactly one helper, which reports its own fixed
+	// worker ID; with a rotating start offset, consecutive single-helper
+	// batches land on different channels.
+	for call := 0; call < 3*(workers-1); call++ {
+		p.run(1, func(w int) {
+			if w == 0 {
+				return // caller's share
+			}
+			mu.Lock()
+			seen[w] = true
+			mu.Unlock()
+		})
+	}
+	if len(seen) < 2 {
+		t.Errorf("single-helper batches woke only helpers %v; want rotation across channels", seen)
+	}
+}
+
+// TestPoolConcurrentJobShards models the multi-tenant sharding contract:
+// J concurrent jobs share one pool, each keeping its own per-worker
+// buffers indexed by the worker IDs its For calls report. Within one For
+// call chunks with the same ID never run concurrently, and distinct jobs
+// use distinct buffers, so under -race this proves per-job worker-ID
+// sharding needs no locks even with many submitters.
+func TestPoolConcurrentJobShards(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for job := 0; job < 8; job++ {
+		wg.Add(1)
+		go func(job int) {
+			defer wg.Done()
+			n := 400 + 50*job
+			shards := make([][]int, workers) // private to this job
+			for rep := 0; rep < 10; rep++ {
+				for w := range shards {
+					shards[w] = shards[w][:0]
+				}
+				p.For(n, 32, func(w, lo, hi int) {
+					local := shards[w] // no atomics: per-job, per-worker
+					for i := lo; i < hi; i++ {
+						local = append(local, i)
+					}
+					shards[w] = local
+				})
+				total := 0
+				for w := range shards {
+					total += len(shards[w])
+				}
+				if total != n {
+					t.Errorf("job %d: shards hold %d indices, want %d", job, total, n)
+					return
+				}
+			}
+		}(job)
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentFor measures aggregate throughput of J goroutines
+// concurrently submitting small (tail-round-sized) For batches to one
+// shared pool — the multi-tenant regime where the old dispatch piled
+// every submitter onto chans[0..k].
+func BenchmarkConcurrentFor(b *testing.B) {
+	workers := Workers()
+	if workers < 4 {
+		workers = 4
+	}
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			p := NewPool(workers)
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for j := 0; j < jobs; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var sink atomic.Int64
+					for i := 0; i < b.N/jobs+1; i++ {
+						p.For(256, 64, func(w, lo, hi int) {
+							var s int64
+							for k := lo; k < hi; k++ {
+								s += int64(k)
+							}
+							sink.Add(s)
+						})
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

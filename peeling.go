@@ -7,6 +7,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/iblt"
 	"repro/internal/mphf"
+	"repro/internal/parallel"
 	"repro/internal/recurrence"
 	"repro/internal/rng"
 	"repro/internal/threshold"
@@ -181,4 +182,52 @@ func ReconcileSets(local, remote []uint64, seed uint64, headroom float64) (onlyL
 func SolveXORSAT(in *XORSATInstance) ([]uint8, error) {
 	assign, _, err := in.Solve()
 	return assign, err
+}
+
+// WorkerPool is a persistent set of worker goroutines shared by peeling
+// jobs: peels, IBLT decodes, MPHF/static-map builds, erasure decodes,
+// and set reconciliations all accept one through their ...WithPool /
+// Options.Pool entry points, so a server handles many requests without
+// spawning goroutines or pools per request.
+type WorkerPool = parallel.Pool
+
+// NewWorkerPool starts a pool of the given size (workers <= 0 selects
+// GOMAXPROCS). Close it when done.
+func NewWorkerPool(workers int) *WorkerPool { return parallel.NewPool(workers) }
+
+// JobGroup runs independent peeling jobs concurrently on one shared
+// WorkerPool; see NewJobGroup.
+type JobGroup = parallel.Group
+
+// NewJobGroup returns a JobGroup whose jobs execute on pool. maxJobs > 0
+// bounds how many jobs run simultaneously (admission control for
+// servers); <= 0 means unbounded. Each job receives the shared pool and
+// should call the ...WithPool variants so all its parallelism stays on
+// it:
+//
+//	pool := repro.NewWorkerPool(0)
+//	defer pool.Close()
+//	g := repro.NewJobGroup(pool, 8)
+//	for _, req := range requests {
+//	    g.Go(func(p *repro.WorkerPool) error {
+//	        res := req.table.DecodeParallelWithPool(p)
+//	        ...
+//	    })
+//	}
+//	err := g.Wait()
+func NewJobGroup(pool *WorkerPool, maxJobs int) *JobGroup { return pool.NewGroup(maxJobs) }
+
+// BuildMPHFWithPool is BuildMPHF on an explicit shared pool.
+func BuildMPHFWithPool(keys []uint64, seed uint64, pool *WorkerPool) (*MPHF, error) {
+	return mphf.BuildWithPool(keys, mphf.DefaultGamma, seed, 10, pool)
+}
+
+// BuildStaticMapWithPool is BuildStaticMap on an explicit shared pool.
+func BuildStaticMapWithPool(keys, values []uint64, seed uint64, pool *WorkerPool) (*StaticMap, error) {
+	return bloomier.BuildWithPool(keys, values, bloomier.DefaultGamma, seed, 10, pool)
+}
+
+// ReconcileSetsWithPool is ReconcileSets on an explicit shared pool.
+func ReconcileSetsWithPool(local, remote []uint64, seed uint64, headroom float64, pool *WorkerPool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	return iblt.ReconcileWithPool(local, remote, seed, headroom, pool)
 }

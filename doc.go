@@ -29,23 +29,42 @@
 //
 // # Runtime
 //
-// The parallel peelers execute on a persistent worker pool
+// The serving surface is the context-first Runtime: NewRuntime starts a
+// persistent worker pool with optional admission control (MaxJobs), and
+// every workload is a method on it — Peel, PeelSubtables, Decode,
+// BuildMPHF, BuildStaticMap, Reconcile, EncodeErasure, DecodeErasure,
+// plus Go for custom jobs. Each method admits the request as a job,
+// pins all of its parallelism to the shared pool, and honors context
+// cancellation at the round/subround barriers of the underlying peeling
+// process — the paper's O(log log n) round structure means a job crosses
+// a barrier many times, so one check per barrier aborts a canceled job
+// within a single round of extra work. Shutdown stops admission, drains
+// in-flight jobs (bounded by the caller's ctx), and releases the
+// workers; Stats exposes queue depth, helper occupancy, and
+// admitted/rejected/canceled job counters for backpressure decisions.
+//
+//	rt := repro.NewRuntime(repro.RuntimeOptions{MaxJobs: 32})
+//	defer rt.Shutdown(context.Background())
+//	res, err := rt.Decode(ctx, table)
+//
+// Under the hood the parallel peelers execute on the Runtime's pool
 // (internal/parallel.Pool): workers stay alive across rounds, each
 // round's two phases are dispatched as chunked parallel-for batches, and
 // per-worker frontier shards — indexed by the pool's worker IDs — replace
 // locked appends, so the small-frontier tail rounds that dominate the
 // O(log log n) bound pay neither goroutine spawns nor mutex traffic.
-// Callers pick a worker count per run (core.Options.Workers), share an
-// explicit pool across runs (core.Options.Pool), or let everything ride
-// on the process-wide default pool.
 //
-// The runtime is multi-tenant: a pool may be shared by any number of
-// concurrent jobs (WorkerPool / JobGroup, or parallel.Group directly).
-// Batch dispatch rotates across helper channels so concurrent small
-// batches — tail rounds of simultaneous decodes — spread over distinct
-// helpers, and the ...WithPool decode and build paths keep all working
+// The runtime is multi-tenant: the pool is shared by any number of
+// concurrent jobs. Batch dispatch rotates across helper channels so
+// concurrent small batches — tail rounds of simultaneous decodes —
+// spread over distinct helpers; all decode and build paths keep working
 // state per call, so a server runs many requests on one pool with no
-// per-request pools, goroutine spawns, or locks in the round loops.
+// per-request pools, goroutine spawns, or locks in the round loops; and
+// the claim-based barrier makes nested parallel-for submission from
+// inside a pool batch deadlock-free, so jobs may compose builders and
+// peelers freely. The pre-Runtime entry points (PeelParallel, the ...WithPool
+// variants, WorkerPool/JobGroup) remain as deprecated wrappers over the
+// package-default Runtime (DefaultRuntime) and an explicit pool.
 //
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream

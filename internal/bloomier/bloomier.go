@@ -16,6 +16,7 @@
 package bloomier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -71,6 +72,14 @@ func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, w
 // is owned by the call, so many builds may run concurrently on one
 // shared pool.
 func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
+	return BuildCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
+}
+
+// BuildCtx is BuildWithPool with cooperative cancellation, checked at
+// the phase barriers of every retry attempt; the serial peel and
+// back-substitution are not interrupted. On cancellation it returns
+// (nil, ctx.Err()).
+func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
 	}
@@ -86,11 +95,18 @@ func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries i
 		subSize = 2
 	}
 	for try := 0; try < maxTries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
 		}
-		if f.assign(keys, values, pool) {
+		ok, err := f.assign(ctx, keys, values, pool)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return f, nil
 		}
 	}
@@ -123,14 +139,20 @@ func (f *Filter) hashEdges(keys []uint64, pool *parallel.Pool) []uint32 {
 // assign peels the key hypergraph and back-substitutes slot values so
 // that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; reports
 // whether peeling reached the empty 2-core. Edge hashing and the CSR
-// build fan out over the pool.
-func (f *Filter) assign(keys, values []uint64, pool *parallel.Pool) bool {
+// build fan out over the pool; ctx is checked at the phase barriers.
+func (f *Filter) assign(ctx context.Context, keys, values []uint64, pool *parallel.Pool) (bool, error) {
 	n := f.subSize * arity
 	edges := f.hashEdges(keys, pool)
 	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	peel := core.Sequential(g, 2)
 	if !peel.Empty() {
-		return false
+		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 	f.slots = make([]uint64, n)
 	// Reverse peel order: the free vertex's slot is still untouched when
@@ -147,7 +169,7 @@ func (f *Filter) assign(keys, values []uint64, pool *parallel.Pool) bool {
 		}
 		f.slots[free] = acc
 	}
-	return true
+	return true, nil
 }
 
 // Lookup returns the value stored for key x (arbitrary for foreign keys).
@@ -184,6 +206,15 @@ func BuildParallelWorkers(keys, values []uint64, gamma float64, seed uint64, max
 // explicit worker pool (each retry passes the same pool to the subround
 // peeler via core.Options.Pool, so no per-attempt pool is ever spun up).
 func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
+	return BuildParallelCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
+}
+
+// BuildParallelCtx is BuildParallelWithPool with cooperative
+// cancellation: the subround peel checks ctx at its subround barriers
+// (core.SubtablesOrientedCtx) and back-substitution checks it at every
+// layer barrier, so even a single huge build attempt is abandoned
+// promptly. On cancellation it returns (nil, ctx.Err()).
+func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
 	}
@@ -199,6 +230,9 @@ func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, ma
 		subSize = 2
 	}
 	for try := 0; try < maxTries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
@@ -206,14 +240,17 @@ func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, ma
 		n := f.subSize * arity
 		edges := f.hashEdges(keys, pool)
 		g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
-		res, orient := core.SubtablesOriented(g, 2, core.Options{Pool: pool})
+		res, orient, err := core.SubtablesOrientedCtx(ctx, g, 2, core.Options{Pool: pool})
+		if err != nil {
+			return nil, err
+		}
 		if !res.Empty() {
 			continue
 		}
 		f.slots = make([]uint64, n)
 		for li := len(orient.Layers) - 1; li >= 0; li-- {
 			layer := orient.Layers[li]
-			pool.For(len(layer), 1024, func(_, lo, hi int) {
+			if err := pool.ForCtx(ctx, len(layer), 1024, func(_, lo, hi int) {
 				for idx := lo; idx < hi; idx++ {
 					e := layer[idx]
 					free := orient.FreeVertex[e]
@@ -225,7 +262,9 @@ func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, ma
 					}
 					f.slots[free] = acc
 				}
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 		return f, nil
 	}

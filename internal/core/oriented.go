@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -34,6 +35,14 @@ type Orientation struct {
 // The Result matches Subtables exactly (same rounds, subrounds, history,
 // core).
 func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, *Orientation) {
+	res, orient, _ := SubtablesOrientedCtx(context.Background(), g, k, opts)
+	return res, orient
+}
+
+// SubtablesOrientedCtx is SubtablesOriented with cooperative
+// cancellation, checked at every subround barrier. On cancellation it
+// returns (nil, nil, ctx.Err()).
+func SubtablesOrientedCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*Result, *Orientation, error) {
 	if g.SubtableSize == 0 {
 		panic("core: SubtablesOriented requires a partitioned hypergraph")
 	}
@@ -82,6 +91,10 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 	for round := 1; round <= maxRounds; round++ {
 		removedThisRound := 0
 		for j := 0; j < r; j++ {
+			// Subround barrier cancellation check.
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			subroundIdx++
 			epoch := uint32(subroundIdx)
 
@@ -153,7 +166,7 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 	}
 	res.Subrounds = lastProductive
 	syncEdgeClaims(s.edead, eclaim, pool)
-	return s.finish(res), orient
+	return s.finish(res), orient, nil
 }
 
 // ValidateOrientation checks the structural guarantees of an Orientation

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -115,6 +116,21 @@ func drain(dst []uint32, shards [][]uint32) []uint32 {
 // shards are reused across rounds, which matters in the small-frontier
 // tail where a round does little work.
 func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
+	res, _ := ParallelCtx(context.Background(), g, k, opts)
+	return res
+}
+
+// ParallelCtx is Parallel with cooperative cancellation: the context is
+// checked at every round barrier, so a canceled peel stops within one
+// round of extra work — the O(log log n) round structure is what makes
+// this cheap (a single check per barrier, no polling inside the phases).
+// On cancellation it returns (nil, ctx.Err()); the partially peeled
+// state is abandoned. A context that can never be canceled adds no
+// per-round cost beyond a nil check.
+func ParallelCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s := newCoreState(g, k)
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -159,6 +175,11 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	}
 
 	for round := 1; round <= maxRounds; round++ {
+		// Round barrier cancellation check: jobs abandoned mid-peel stop
+		// here before starting another round of work.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Phase A: collect this round's peel set, marking its vertices
 		// dead as they are collected (each vertex is visited exactly once:
 		// frontier entries are epoch-deduplicated, and the full scan
@@ -229,7 +250,7 @@ func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 		}
 	}
 	syncEdgeClaims(s.edead, eclaim, pool)
-	return s.finish(res)
+	return s.finish(res), nil
 }
 
 // syncEdgeClaims copies the atomic claim bitset into the byte-per-edge

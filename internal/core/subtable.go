@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/hypergraph"
@@ -23,6 +24,15 @@ import (
 // g must be partitioned (hypergraph.Partitioned); Subtables panics
 // otherwise.
 func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
+	res, _ := SubtablesCtx(context.Background(), g, k, opts)
+	return res
+}
+
+// SubtablesCtx is Subtables with cooperative cancellation, checked at
+// every subround barrier (a finer grain than the full-round barrier of
+// ParallelCtx, matching the subround structure). On cancellation it
+// returns (nil, ctx.Err()).
+func SubtablesCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*Result, error) {
 	if g.SubtableSize == 0 {
 		panic("core: Subtables requires a partitioned hypergraph")
 	}
@@ -69,6 +79,10 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	for round := 1; round <= maxRounds; round++ {
 		removedThisRound := 0
 		for j := 0; j < r; j++ {
+			// Subround barrier cancellation check.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			subroundIdx++
 			epoch := uint32(subroundIdx)
 
@@ -159,5 +173,5 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	}
 	res.Subrounds = lastProductive
 	syncEdgeClaims(s.edead, eclaim, pool)
-	return s.finish(res)
+	return s.finish(res), nil
 }

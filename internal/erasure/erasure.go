@@ -15,6 +15,7 @@
 package erasure
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -117,6 +118,14 @@ func (c *Code) Encode(data []uint64) []Cell {
 // per-call state is owned by the call, so concurrent encodes may share
 // one pool.
 func (c *Code) EncodeWithPool(data []uint64, pool *parallel.Pool) []Cell {
+	checks, _ := c.EncodeCtx(context.Background(), data, pool)
+	return checks
+}
+
+// EncodeCtx is EncodeWithPool with cooperative cancellation (checked
+// between batch chunks). On a non-nil return the check block is
+// partially encoded and must be discarded.
+func (c *Code) EncodeCtx(ctx context.Context, data []uint64, pool *parallel.Pool) ([]Cell, error) {
 	checks := make([]Cell, c.cells)
 	// Per-worker position buffers: chunks with the same worker ID never
 	// run concurrently within this call, and the buffers are call-local,
@@ -125,13 +134,15 @@ func (c *Code) EncodeWithPool(data []uint64, pool *parallel.Pool) []Cell {
 	for w := range posBufs {
 		posBufs[w] = make([]int, c.r)
 	}
-	pool.For(len(data), 2048, func(w, lo, hi int) {
+	if err := pool.ForCtx(ctx, len(data), 2048, func(w, lo, hi int) {
 		pos := posBufs[w]
 		for i := lo; i < hi; i++ {
 			c.applyAtomic(checks, i, data[i], pos, 1)
 		}
-	})
-	return checks
+	}); err != nil {
+		return nil, err
+	}
+	return checks, nil
 }
 
 // applyAtomic adds (delta = +1) or subtracts (delta = -1) symbol i with
@@ -186,13 +197,24 @@ func (c *Code) Decode(data []uint64, present []bool, checks []Cell) error {
 	return c.peel(work, data, present, missing)
 }
 
-// DecodeWithPool is Decode with the received-symbol subtraction pass —
-// the O(data) part that dominates when few symbols are missing — fanned
-// out over an explicit worker pool with atomic cell updates. The peel of
-// the (small) missing set stays serial. Results are identical to Decode.
-// All per-call state is owned by the call, so concurrent decodes may
-// share one pool (the multi-tenant serving pattern; see parallel.Group).
+// DecodeWithPool is Decode with both phases on an explicit worker pool:
+// the received-symbol subtraction pass (the O(data) part that dominates
+// when few symbols are missing) fans out with atomic cell updates, and
+// recovery runs the round-synchronous parallel peel decodeRounds — the
+// erasure analog of the IBLT's subround decoder — instead of the serial
+// queue peel. Results are identical to Decode (peeling is confluent; the
+// recovered set and values do not depend on scheduling). All per-call
+// state is owned by the call, so concurrent decodes may share one pool
+// (the multi-tenant serving pattern; see parallel.Group).
 func (c *Code) DecodeWithPool(data []uint64, present []bool, checks []Cell, pool *parallel.Pool) error {
+	return c.DecodeCtx(context.Background(), data, present, checks, pool)
+}
+
+// DecodeCtx is DecodeWithPool with cooperative cancellation, checked
+// inside the subtraction pass and at every peeling round barrier. On
+// cancellation it returns ctx.Err(); data and present are then partially
+// updated and must be treated as abandoned.
+func (c *Code) DecodeCtx(ctx context.Context, data []uint64, present []bool, checks []Cell, pool *parallel.Pool) error {
 	if len(data) != len(present) {
 		panic("erasure: data/present length mismatch")
 	}
@@ -206,7 +228,7 @@ func (c *Code) DecodeWithPool(data []uint64, present []bool, checks []Cell, pool
 		posBufs[w] = make([]int, c.r)
 	}
 	missingCount := pool.NewCounter()
-	pool.For(len(data), 2048, func(w, lo, hi int) {
+	if err := pool.ForCtx(ctx, len(data), 2048, func(w, lo, hi int) {
 		pos := posBufs[w]
 		for i := lo; i < hi; i++ {
 			if !present[i] {
@@ -215,12 +237,132 @@ func (c *Code) DecodeWithPool(data []uint64, present []bool, checks []Cell, pool
 			}
 			c.applyAtomic(work, i, data[i], pos, -1)
 		}
-	})
+	}); err != nil {
+		return err
+	}
 	missing := int(missingCount.Sum())
 	if missing == 0 {
 		return nil
 	}
-	return c.peel(work, data, present, missing)
+	return c.decodeRounds(ctx, work, data, present, missing, pool)
+}
+
+// decodeRounds recovers the missing symbols with a round-synchronous
+// parallel peel on the pool — the recovery-phase analog of the IBLT's
+// frontier subround decoder. Every cell is a candidate once; each round
+// examines the candidate set in parallel, recovers the pure cells'
+// symbols, subtracts them atomically, and re-enlists the touched cells
+// for the next round. Work is proportional to cells + peeling work, like
+// the serial peel, and the round structure matches the paper's analysis
+// (O(log log n) rounds below threshold).
+//
+// Two disciplines make the concurrency safe:
+//
+//   - An atomic claim bitset over symbol indices guarantees each symbol
+//     is recovered and subtracted exactly once, even when several of its
+//     cells are pure in the same round (the erasure hypergraph has no
+//     subtable structure, so — unlike the IBLT subround decoder — two
+//     workers can see the same symbol pure simultaneously).
+//   - pureAtomic reads the checksum before the value while applyAtomic
+//     writes the checksum last, so a checksum match proves the value read
+//     includes every concurrent subtraction that could have produced the
+//     matching idx/checksum pair; torn reads fail the checksum and the
+//     touched cell is simply re-examined next round (the toucher
+//     re-enlisted it).
+func (c *Code) decodeRounds(ctx context.Context, work []Cell, data []uint64, present []bool, missing int, pool *parallel.Pool) error {
+	workers := pool.Workers()
+	// pending[p] != 0 while cell p sits in a candidate list; the CAS
+	// guard gives each cell at most one pending entry.
+	pending := make([]uint32, c.cells)
+	cands := make([]int, c.cells)
+	for p := range cands {
+		cands[p] = p
+		pending[p] = 1
+	}
+	claimed := parallel.NewBitset(len(data))
+	recovered := pool.NewCounter()
+	posBufs := make([][]int, workers)
+	relist := make([][]int, workers)
+	for w := range posBufs {
+		posBufs[w] = make([]int, c.r)
+	}
+
+	var peel []int
+	for len(cands) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Phase A (single-threaded): snapshot and clear pending flags so
+		// subtractions during Phase B can re-enlist cells.
+		peel, cands = cands, peel[:0]
+		for _, p := range peel {
+			atomic.StoreUint32(&pending[p], 0)
+		}
+		pool.For(len(peel), 512, func(w, lo, hi int) {
+			pos := posBufs[w]
+			local := relist[w]
+			for idx := lo; idx < hi; idx++ {
+				p := peel[idx]
+				i, v, ok := c.pureAtomic(&work[p])
+				if !ok {
+					continue
+				}
+				// Claim symbol i: exactly one worker subtracts it even if
+				// several of its cells are pure this round.
+				if !claimed.AtomicSet(i) {
+					continue
+				}
+				// Distinct claimed indices → distinct data/present slots;
+				// no two workers write the same element.
+				data[i] = v
+				present[i] = true
+				recovered.Add(w, 1)
+				cs := c.checksum(i)
+				c.positions(i, pos)
+				for _, q := range pos {
+					atomic.AddInt32(&work[q].Count, -1)
+					parallel.XorUint64(&work[q].IdxSum, uint64(i+1))
+					parallel.XorUint64(&work[q].ValueSum, v)
+					parallel.XorUint64(&work[q].CheckSum, cs)
+					if atomic.CompareAndSwapUint32(&pending[q], 0, 1) {
+						local = append(local, q)
+					}
+				}
+			}
+			relist[w] = local
+		})
+		for w := range relist {
+			cands = append(cands, relist[w]...)
+			relist[w] = relist[w][:0]
+		}
+	}
+	if got := int(recovered.Sum()); got != missing {
+		return fmt.Errorf("%w (recovered %d of %d)", ErrDecodeFailed, got, missing)
+	}
+	return nil
+}
+
+// pureAtomic is the atomic-read variant of pure used by decodeRounds: it
+// reports whether the cell holds exactly one missing symbol, returning
+// its index and value. Reads are ordered Count, IdxSum, CheckSum, then
+// ValueSum; applyAtomic and the decode subtractions write CheckSum last,
+// so a checksum that validates IdxSum proves the concurrent subtraction
+// (if any) had already finished updating ValueSum when we read it. Any
+// other torn combination fails the 64-bit checksum w.h.p. and the cell
+// is retried on its next enlistment.
+func (c *Code) pureAtomic(cell *Cell) (idx int, val uint64, ok bool) {
+	if atomic.LoadInt32(&cell.Count) != 1 {
+		return 0, 0, false
+	}
+	is := atomic.LoadUint64(&cell.IdxSum)
+	if is == 0 {
+		return 0, 0, false
+	}
+	idx = int(is - 1)
+	if c.checksum(idx) != atomic.LoadUint64(&cell.CheckSum) {
+		return 0, 0, false
+	}
+	return idx, atomic.LoadUint64(&cell.ValueSum), true
 }
 
 // peel runs the queue-driven serial peel of pure cells shared by Decode

@@ -1,6 +1,7 @@
 package iblt
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/parallel"
@@ -34,6 +35,15 @@ func (t *Table) DecodeParallelFrontier() *ParallelResult {
 // shared pool are safe (the multi-tenant serving pattern; see
 // parallel.Group).
 func (t *Table) DecodeParallelFrontierWithPool(pool *parallel.Pool) *ParallelResult {
+	res, _ := t.DecodeParallelFrontierCtx(context.Background(), pool)
+	return res
+}
+
+// DecodeParallelFrontierCtx is DecodeParallelFrontierWithPool with
+// cooperative cancellation, checked at every subround barrier. On
+// cancellation it returns (nil, ctx.Err()); the partially decoded table
+// must be discarded.
+func (t *Table) DecodeParallelFrontierCtx(ctx context.Context, pool *parallel.Pool) (*ParallelResult, error) {
 	res := &ParallelResult{}
 	workers := pool.Workers()
 
@@ -69,6 +79,9 @@ func (t *Table) DecodeParallelFrontierWithPool(pool *parallel.Pool) *ParallelRes
 		recoveredThisRound := 0
 		anyCandidates := false
 		for j := 0; j < t.r; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			subround++
 			if len(cands[j]) == 0 {
 				continue
@@ -131,5 +144,5 @@ func (t *Table) DecodeParallelFrontierWithPool(pool *parallel.Pool) *ParallelRes
 		}
 	}
 	res.Complete = t.empty()
-	return res
+	return res, nil
 }

@@ -31,6 +31,7 @@
 package iblt
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -149,15 +150,35 @@ func (t *Table) DeleteAllWithPool(keys []uint64, pool *parallel.Pool) {
 func (t *Table) applyAll(keys []uint64, delta int64, pool *parallel.Pool) {
 	pool.For(len(keys), 1024, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			x := keys[i]
-			t.checkKey(x)
-			cs := t.checksum(x)
-			for j := 0; j < t.r; j++ {
-				c := t.cellIndex(x, j)
-				atomic.AddInt64(&t.count[c], delta)
-				parallel.XorUint64(&t.keySum[c], x)
-				parallel.XorUint64(&t.checkSum[c], cs)
-			}
+			t.checkKey(keys[i])
+			t.applyAtomic(keys[i], delta)
+		}
+	})
+}
+
+// applyAtomic adds (delta = +1) or removes (delta = -1) key x using
+// atomic cell updates — the single-key concurrent insert primitive
+// shared by the bulk ...All paths and the strata estimator's parallel
+// inserts. Safe to call concurrently for any mix of keys and tables.
+func (t *Table) applyAtomic(x uint64, delta int64) {
+	cs := t.checksum(x)
+	for j := 0; j < t.r; j++ {
+		c := t.cellIndex(x, j)
+		atomic.AddInt64(&t.count[c], delta)
+		parallel.XorUint64(&t.keySum[c], x)
+		parallel.XorUint64(&t.checkSum[c], cs)
+	}
+}
+
+// InsertAllCtx is InsertAllWithPool with cooperative cancellation
+// (checked between batch chunks). On a non-nil return the table holds an
+// unspecified subset of keys and must be discarded — cancellation
+// abandons the request, not just the insert pass.
+func (t *Table) InsertAllCtx(ctx context.Context, keys []uint64, pool *parallel.Pool) error {
+	return pool.ForCtx(ctx, len(keys), 1024, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.checkKey(keys[i])
+			t.applyAtomic(keys[i], 1)
 		}
 	})
 }
@@ -314,12 +335,25 @@ func (s *recoveryShards) drainInto(res *ParallelResult) int {
 // All working state is owned by this call, so many decodes may run
 // concurrently on one shared pool (e.g. as parallel.Group jobs).
 func (t *Table) DecodeParallelWithPool(pool *parallel.Pool) *ParallelResult {
+	res, _ := t.DecodeParallelCtx(context.Background(), pool)
+	return res
+}
+
+// DecodeParallelCtx is DecodeParallelWithPool with cooperative
+// cancellation, checked at every subround barrier (the same barrier the
+// paper's round analysis counts, so a canceled decode does less than one
+// subround of extra work). On cancellation it returns (nil, ctx.Err());
+// the partially decoded table must be discarded.
+func (t *Table) DecodeParallelCtx(ctx context.Context, pool *parallel.Pool) (*ParallelResult, error) {
 	res := &ParallelResult{}
 	shards := newRecoveryShards(pool.Workers())
 	subround := 0
 	for round := 1; ; round++ {
 		recoveredThisRound := 0
 		for j := 0; j < t.r; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			subround++
 			base := j * t.subSize
 			pool.For(t.subSize, 1024, func(w, lo, hi int) {
@@ -357,7 +391,7 @@ func (t *Table) DecodeParallelWithPool(pool *parallel.Pool) *ParallelResult {
 		res.Rounds = round
 	}
 	res.Complete = t.empty()
-	return res
+	return res, nil
 }
 
 // pureAtomic is the atomic-read variant of pure used by DecodeParallel.

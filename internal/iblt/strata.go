@@ -1,6 +1,7 @@
 package iblt
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"slices"
@@ -63,6 +64,32 @@ func (e *StrataEstimator) InsertAll(keys []uint64) {
 	for _, k := range keys {
 		e.Insert(k)
 	}
+}
+
+// InsertAllWithPool adds keys in parallel on an explicit worker pool:
+// each worker hashes its chunk's keys to their strata and applies them
+// with atomic cell updates, so the stratified insert pass — the serial
+// prefix of every reconciliation request — scales with the bulk-insert
+// paths instead of serializing in front of them. The tables are tiny
+// (concurrent updates contend on few cells), but the per-key hashing,
+// which dominates, fans out fully. The resulting estimator is
+// cell-for-cell identical to a serial InsertAll (XOR updates commute).
+func (e *StrataEstimator) InsertAllWithPool(keys []uint64, pool *parallel.Pool) {
+	_ = e.insertAllCtx(context.Background(), keys, pool)
+}
+
+// insertAllCtx is InsertAllWithPool with cooperative cancellation; on a
+// non-nil return the estimator is partially filled and must be
+// discarded.
+func (e *StrataEstimator) insertAllCtx(ctx context.Context, keys []uint64, pool *parallel.Pool) error {
+	return pool.ForCtx(ctx, len(keys), 2048, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := keys[i]
+			t := e.strata[e.stratumOf(x)]
+			t.checkKey(x)
+			t.applyAtomic(x, 1)
+		}
+	})
 }
 
 // Subtract replaces e with the stratum-wise difference e − other.
@@ -161,29 +188,45 @@ func Reconcile(localKeys, remoteKeys []uint64, seed uint64, headroom float64) (o
 	return ReconcileWithPool(localKeys, remoteKeys, seed, headroom, parallel.Default())
 }
 
-// ReconcileWithPool is Reconcile with the bulk inserts and the
-// difference-table decode pinned to an explicit worker pool (the
-// ...WithPool insert and frontier-decode paths), so a reconciliation job
-// never escapes to the default pool. All per-request state is owned by
-// the call, making it safe to run many reconciliations concurrently on
-// one shared pool (e.g. as parallel.Group jobs). The returned difference
-// sides are sorted, so the output is identical at every pool size (the
-// parallel decoder's recovery order is scheduling-dependent; the
-// recovered *set* is not, by peeling confluence).
+// ReconcileWithPool is Reconcile with every phase pinned to an explicit
+// worker pool: the strata-estimator inserts (InsertAllWithPool — so no
+// serial prefix remains in a reconciliation request), the bulk table
+// inserts, and the difference-table frontier decode. All per-request
+// state is owned by the call, making it safe to run many
+// reconciliations concurrently on one shared pool (e.g. as
+// parallel.Group jobs). The returned difference sides are sorted, so the
+// output is identical at every pool size (the parallel decoder's
+// recovery order is scheduling-dependent; the recovered *set* is not, by
+// peeling confluence).
 func ReconcileWithPool(localKeys, remoteKeys []uint64, seed uint64, headroom float64, pool *parallel.Pool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	return ReconcileCtx(context.Background(), localKeys, remoteKeys, seed, headroom, pool)
+}
+
+// ReconcileCtx is ReconcileWithPool with cooperative cancellation,
+// checked between protocol phases, inside the bulk insert passes, and at
+// the decode's subround barriers. On cancellation it returns ctx.Err()
+// and all partial protocol state is abandoned.
+func ReconcileCtx(ctx context.Context, localKeys, remoteKeys []uint64, seed uint64, headroom float64, pool *parallel.Pool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
 	if headroom < 1.25 {
 		headroom = 1.25
 	}
 	// Round 1: exchange strata estimators.
 	le := NewStrataEstimator(seed)
-	le.InsertAll(localKeys)
+	if err := le.insertAllCtx(ctx, localKeys, pool); err != nil {
+		return nil, nil, 0, err
+	}
 	re := NewStrataEstimator(seed)
-	re.InsertAll(remoteKeys)
+	if err := re.insertAllCtx(ctx, remoteKeys, pool); err != nil {
+		return nil, nil, 0, err
+	}
 	wireBytes = re.WireSize()
 	le.Subtract(re)
 	est := le.Estimate()
 	if est == 0 {
 		est = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, wireBytes, err
 	}
 
 	// Round 2: exchange an IBLT sized for the estimated difference.
@@ -192,12 +235,19 @@ func ReconcileWithPool(localKeys, remoteKeys []uint64, seed uint64, headroom flo
 		cells = 48
 	}
 	lt := New(cells, 3, rng.Mix64(seed^0x2545f4914f6cdd1d))
-	lt.InsertAllWithPool(localKeys, pool)
+	if err := lt.InsertAllCtx(ctx, localKeys, pool); err != nil {
+		return nil, nil, wireBytes, err
+	}
 	rt := New(cells, 3, rng.Mix64(seed^0x2545f4914f6cdd1d))
-	rt.InsertAllWithPool(remoteKeys, pool)
+	if err := rt.InsertAllCtx(ctx, remoteKeys, pool); err != nil {
+		return nil, nil, wireBytes, err
+	}
 	wireBytes += rt.WireSize()
 	lt.Subtract(rt)
-	res := lt.DecodeParallelFrontierWithPool(pool)
+	res, err := lt.DecodeParallelFrontierCtx(ctx, pool)
+	if err != nil {
+		return nil, nil, wireBytes, err
+	}
 	if !res.Complete {
 		return nil, nil, wireBytes, fmt.Errorf("iblt: reconciliation IBLT failed to decode (estimate %d, cells %d)", est, cells)
 	}

@@ -1,0 +1,85 @@
+package iblt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// TestStrataInsertAllWithPool checks the parallel stratified insert is
+// cell-for-cell identical to the serial one (XOR commutes) at every
+// worker count.
+func TestStrataInsertAllWithPool(t *testing.T) {
+	gen := rng.New(5)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = gen.Uint64()
+		}
+	}
+	want := NewStrataEstimator(42)
+	want.InsertAll(keys)
+	wb, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		pool := parallel.NewPool(workers)
+		got := NewStrataEstimator(42)
+		got.InsertAllWithPool(keys, pool)
+		pool.Close()
+		gb, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalBytes(wb, gb) {
+			t.Fatalf("workers=%d: parallel strata insert diverges from serial", workers)
+		}
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReconcileCtxCancel checks a reconciliation request is abandoned on
+// a canceled context, and that DecodeParallelCtx/FrontierCtx surface the
+// cancellation too.
+func TestReconcileCtxCancel(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	gen := rng.New(8)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = gen.Uint64()
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := ReconcileCtx(ctx, keys, keys[:9000], 3, 1.5, pool); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReconcileCtx(canceled): %v", err)
+	}
+	tb := New(15000, 3, 9)
+	tb.InsertAll(keys)
+	if _, err := tb.Clone().DecodeParallelCtx(ctx, pool); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecodeParallelCtx(canceled): %v", err)
+	}
+	if _, err := tb.Clone().DecodeParallelFrontierCtx(ctx, pool); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DecodeParallelFrontierCtx(canceled): %v", err)
+	}
+	if err := tb.Clone().InsertAllCtx(ctx, keys, pool); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InsertAllCtx(canceled): %v", err)
+	}
+}

@@ -9,6 +9,7 @@
 package mphf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -80,6 +81,15 @@ func BuildWorkers(keys []uint64, gamma float64, seed uint64, maxTries, workers i
 // state is owned by the call, so many builds may run concurrently on
 // one shared pool.
 func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
+	return BuildCtx(context.Background(), keys, gamma, seed, maxTries, pool)
+}
+
+// BuildCtx is BuildWithPool with cooperative cancellation, checked at
+// the phase barriers of every retry attempt (edge hashing, CSR build,
+// peel, assignment) — the serial peel itself is not interrupted, so the
+// cancellation granularity is one phase of one attempt. On cancellation
+// it returns (nil, ctx.Err()).
+func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	if gamma < 1.1 {
 		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)
 	}
@@ -95,11 +105,18 @@ func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool
 		subSize = 2
 	}
 	for try := 0; try < maxTries; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		f := &MPHF{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), m: m, subSize: subSize}
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
 		}
-		if f.assign(keys, pool) {
+		ok, err := f.assign(ctx, keys, pool)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			return f, nil
 		}
 	}
@@ -130,20 +147,29 @@ func (f *MPHF) vertices(x uint64) [arity]uint32 {
 // assign peels the key hypergraph and computes g values; it reports
 // whether peeling reached the empty 2-core. Edge hashing and the CSR
 // build fan out over the pool (each key's vertices depend only on the
-// key and the attempt seeds, so parallel hashing is deterministic).
-func (f *MPHF) assign(keys []uint64, pool *parallel.Pool) bool {
+// key and the attempt seeds, so parallel hashing is deterministic); ctx
+// is checked at the phase barriers.
+func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (bool, error) {
 	n := f.subSize * arity
 	edges := make([]uint32, len(keys)*arity)
-	pool.For(len(keys), 2048, func(_, lo, hi int) {
+	if err := pool.ForCtx(ctx, len(keys), 2048, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			vs := f.vertices(keys[i])
 			copy(edges[i*arity:], vs[:])
 		}
-	})
+	}); err != nil {
+		return false, err
+	}
 	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	peel := core.Sequential(g, 2)
 	if !peel.Empty() {
-		return false
+		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
 	}
 
 	// Reverse peel order: when edge e (freed by vertex v at position p)
@@ -174,7 +200,7 @@ func (f *MPHF) assign(keys []uint64, pool *parallel.Pool) bool {
 	for i, w := range f.used {
 		f.rank[i+1] = f.rank[i] + uint32(bits.OnesCount64(w))
 	}
-	return true
+	return true, nil
 }
 
 // Keys returns the number of keys the function was built over.

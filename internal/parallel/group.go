@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Group runs independent jobs concurrently on one shared Pool — the
 // multi-tenant serving primitive. Each job is a function that receives
@@ -11,6 +14,10 @@ import "sync"
 // peels) spread over the helper set instead of piling onto the first
 // channels.
 //
+// Jobs are admitted to the pool via Enter, so Pool.Shutdown counts and
+// drains them; a job submitted after shutdown began fails with ErrClosed
+// (recorded as the Group error) without running.
+//
 // Jobs must keep per-worker state (round buffers, shards) private to the
 // job: worker IDs are only serialized within a single For/Run call, and
 // concurrent jobs each see the full ID range. The ...WithPool decode and
@@ -20,6 +27,10 @@ import "sync"
 //
 // A Group is not reusable after Wait, and jobs must not call Go on their
 // own Group. The zero Group is not valid; use Pool.NewGroup.
+//
+// Group predates the repro Runtime, which packages the same admission
+// and draining behind a context-first API; new code should prefer the
+// Runtime.
 type Group struct {
 	pool *Pool
 	sem  chan struct{}
@@ -50,13 +61,53 @@ func (g *Group) Go(job func(pool *Pool) error) {
 	if g.sem != nil {
 		g.sem <- struct{}{}
 	}
+	g.spawn(func() error { return job(g.pool) })
+}
+
+// GoCtx submits a job that receives ctx and should abandon work promptly
+// once it is done (the ctx-threaded decode/build paths and Pool.ForCtx
+// do this at their round and batch barriers). Admission — waiting for a
+// slot under the Group's concurrency bound — also respects ctx: if ctx
+// is done first, the job never starts and GoCtx returns ctx.Err().
+// GoCtx returns nil once the job has been handed to its goroutine; the
+// job's own error is reported through Wait. A job whose error is the
+// context's is additionally counted in the pool's JobsCanceled stat.
+func (g *Group) GoCtx(ctx context.Context, job func(ctx context.Context, pool *Pool) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if g.sem != nil {
+		select {
+		case g.sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	g.spawn(func() error {
+		err := job(ctx, g.pool)
+		if IsCancellation(err) {
+			g.pool.NoteCanceled()
+		}
+		return err
+	})
+	return nil
+}
+
+// spawn runs fn as an admitted pool job on a fresh goroutine, releasing
+// the Group's semaphore slot and recording the first error.
+func (g *Group) spawn(fn func() error) {
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
 		if g.sem != nil {
 			defer func() { <-g.sem }()
 		}
-		if err := job(g.pool); err != nil {
+		exit, err := g.pool.Enter()
+		if err == nil {
+			defer exit()
+			err = fn()
+		}
+		if err != nil {
 			g.mu.Lock()
 			if g.err == nil {
 				g.err = err

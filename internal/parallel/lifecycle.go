@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+)
+
+// ErrClosed is returned for jobs submitted to a pool (or a runtime built
+// on one) that has begun shutting down, and by the second and later
+// calls to Shutdown.
+var ErrClosed = errors.New("parallel: pool is shut down")
+
+// Enter admits the calling goroutine as a job on the pool: until the
+// returned exit func runs, the pool counts the job as in-flight work and
+// Shutdown waits for it. Serving layers wrap each request in Enter/exit;
+// Group and the repro Runtime do this for their jobs. exit must be
+// called exactly once, after the job's last For/Run.
+//
+// If the pool is already draining or terminated, Enter rejects the job
+// with ErrClosed (counted in Stats as a rejection) and the returned exit
+// is a no-op.
+func (p *Pool) Enter() (exit func(), err error) {
+	// Increment before loading state (both seq-cst): if Shutdown's load
+	// of jobs sees zero, any later Enter observes at least stateDraining
+	// here and backs out, so the drain can never miss a job.
+	p.jobs.Add(1)
+	if p.state.Load() != stateOpen {
+		p.exitJob()
+		p.jobsRejected.Add(1)
+		return func() {}, ErrClosed
+	}
+	p.jobsAdmitted.Add(1)
+	return p.exitJob, nil
+}
+
+// exitJob retires one admitted job and completes a pending drain when
+// the last one leaves.
+func (p *Pool) exitJob() {
+	if p.jobs.Add(-1) == 0 && p.state.Load() >= stateDraining {
+		p.drainedOnce.Do(func() { close(p.drained) })
+	}
+}
+
+// NoteCanceled records that an admitted job was abandoned because its
+// context was canceled; surfaced in Stats as JobsCanceled. The serving
+// layer calls it when a job returns a context error (IsCancellation).
+func (p *Pool) NoteCanceled() { p.jobsCanceled.Add(1) }
+
+// IsCancellation reports whether err is (or wraps) a context
+// cancellation or deadline error — the shared predicate deciding what
+// counts toward the JobsCanceled stat across every submission path.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// NoteRejected records a job turned away before reaching Enter — e.g.
+// by a runtime that has begun its own shutdown; surfaced in Stats as
+// JobsRejected alongside the pool's own Enter rejections.
+func (p *Pool) NoteRejected() { p.jobsRejected.Add(1) }
+
+// Shutdown gracefully drains the pool: it atomically stops admission
+// (subsequent Enter calls return ErrClosed), waits for every admitted
+// job to finish — jobs keep their full parallelism while draining — and
+// then stops the helper goroutines. It returns nil once the pool is
+// fully drained and terminated. For/Run themselves remain safe forever:
+// after termination they run entirely on the calling goroutine.
+//
+// If ctx expires first, Shutdown returns ctx.Err() immediately; the
+// pool remains in the draining state and a background janitor stops the
+// helpers as soon as the remaining jobs complete, so helpers are never
+// leaked and jobs are never interrupted mid-batch (Go cannot force-kill
+// goroutines; cancellation of the jobs themselves is the caller's lever
+// — see ForCtx and the ctx-threaded decode/build paths).
+//
+// A second Shutdown (or a Shutdown racing another) returns ErrClosed.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	if !p.state.CompareAndSwap(stateOpen, stateDraining) {
+		return ErrClosed
+	}
+	if p.jobs.Load() == 0 {
+		p.drainedOnce.Do(func() { close(p.drained) })
+	}
+	// Prefer a completed drain over an expired ctx: with both ready the
+	// two-way select below would pick at random, reporting a spurious
+	// failure for a shutdown that in fact finished cleanly.
+	select {
+	case <-p.drained:
+		p.terminate()
+		return nil
+	default:
+	}
+	select {
+	case <-p.drained:
+		p.terminate()
+		return nil
+	case <-ctx.Done():
+		go func() {
+			<-p.drained
+			p.terminate()
+		}()
+		return ctx.Err()
+	}
+}
+
+// terminate closes the helper channels after a completed drain. Only
+// reached once (drained closes once and both Shutdown paths are
+// mutually exclusive via the state CAS). The senders spin pairs with
+// dispatch: once senders reads zero after the terminated store, every
+// future dispatch observes the terminated state before touching a
+// channel, so the closes below cannot race a send. The window is the
+// few instructions of dispatch's send loop, so the spin is momentary.
+func (p *Pool) terminate() {
+	p.state.Store(stateTerminated)
+	for p.senders.Load() != 0 {
+		runtime.Gosched()
+	}
+	for _, ch := range p.chans {
+		close(ch)
+	}
+}
+
+// Close shuts down the pool, waiting indefinitely for in-flight jobs:
+// it is Shutdown with a background context, kept for callers that own
+// their pool and know it is idle (the historical contract). Close after
+// Shutdown is a no-op.
+func (p *Pool) Close() { _ = p.Shutdown(context.Background()) }
+
+// Stats is a snapshot of a pool's backpressure and serving counters.
+type Stats struct {
+	// Workers is the pool size (fixed at creation).
+	Workers int
+	// QueueDepth is the number of dispatched batches sitting in helper
+	// channels that no helper has started yet — sustained nonzero depth
+	// means submissions outpace the helpers.
+	QueueDepth int
+	// BusyHelpers is the number of helper goroutines currently executing
+	// a batch (0 ≤ BusyHelpers ≤ Workers-1); the submitting goroutines'
+	// own shares are not counted.
+	BusyHelpers int
+	// InFlight is the number of admitted jobs currently running.
+	InFlight int
+	// JobsAdmitted / JobsRejected / JobsCanceled count jobs over the
+	// pool's lifetime: admitted via Enter, rejected by shutdown, and
+	// reported canceled via NoteCanceled. Serving layers use
+	// JobsAdmitted − JobsRejected trends and QueueDepth to size
+	// admission bounds.
+	JobsAdmitted int64
+	JobsRejected int64
+	JobsCanceled int64
+}
+
+// Stats returns a point-in-time snapshot of the pool's counters. The
+// fields are sampled independently (each is itself atomic), so a
+// snapshot taken under load is approximate — fine for sizing and
+// monitoring, not a consistency point.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Workers:      p.workers,
+		BusyHelpers:  int(p.busyHelpers.Load()),
+		InFlight:     int(p.jobs.Load()),
+		JobsAdmitted: p.jobsAdmitted.Load(),
+		JobsRejected: p.jobsRejected.Load(),
+		JobsCanceled: p.jobsCanceled.Load(),
+	}
+	for _, ch := range p.chans {
+		s.QueueDepth += len(ch)
+	}
+	return s
+}
+
+// ForCtx is For with cooperative cancellation: workers stop executing
+// chunks as soon as ctx is done, and ForCtx returns ctx.Err(). Chunks
+// already started always run to completion (a barrier is never
+// abandoned mid-chunk, so no per-worker state is left mid-update); the
+// cancellation granularity is therefore one grain per worker. A nil
+// return means every chunk ran. A non-nil return means the range was
+// (possibly) only partially processed — callers treat their output as
+// abandoned. Contexts that can never be canceled take a fast path
+// identical to For.
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(w, lo, hi int)) error {
+	done := ctx.Done()
+	if done == nil {
+		p.For(n, grain, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.forOn(done, n, grain, fn)
+	return ctx.Err()
+}
+
+// RunRangesCtx is RunRanges with cooperative cancellation, with the same
+// contract as ForCtx: on a non-nil return some pieces may not have run.
+func (p *Pool) RunRangesCtx(ctx context.Context, n, pieces int, fn func(i, lo, hi int)) error {
+	done := ctx.Done()
+	if done == nil {
+		p.RunRanges(n, pieces, fn)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.runRangesOn(done, n, pieces, fn)
+	return ctx.Err()
+}

@@ -18,53 +18,93 @@ import (
 // always in [0, Workers()).
 //
 // A Pool may be shared: concurrent For/Run calls from different
-// goroutines are safe (batches queue per helper and run in submission
-// order), and batches that wake only a subset of the helpers are
-// dispatched starting at a rotating offset, so simultaneous small jobs
-// spread across distinct helpers instead of all queueing on the first
-// few channels. The worker-ID contract extends to the concurrent case
-// per *call*: within one For/Run, chunks with the same ID never run
-// concurrently, but two concurrent calls both observe the full ID range
-// (each submitter is its own worker 0), so per-worker state must be
-// owned by the call (a "job"), never shared between concurrent calls.
-// Group packages that pattern.
+// goroutines are safe, and batches that wake only a subset of the
+// helpers are dispatched starting at a rotating offset, so simultaneous
+// small jobs spread across distinct helpers instead of all queueing on
+// the first few channels. The worker-ID contract extends to the
+// concurrent case per *call*: within one For/Run, chunks with the same
+// ID never run concurrently, but two concurrent calls both observe the
+// full ID range (each submitter is its own worker 0), so per-worker
+// state must be owned by the call (a "job"), never shared between
+// concurrent calls. Group packages that pattern.
 //
-// The batch function must not itself call For/Run on the same pool —
-// workers do not steal nested work, so reentrant submission can
-// deadlock. Close must not race with in-flight calls.
+// The barrier is claim-based, which makes nested submission safe: a
+// For/Run issued from inside a batch function dispatches normally, the
+// submitting goroutine claims chunks itself, and the call returns when
+// every chunk has completed — it never waits on a helper that has not
+// started, so a busy (or mutually-waiting) helper set cannot deadlock a
+// nested call; the submitter just does the work itself. For the same
+// reason dispatch is non-blocking: a helper whose queue is full is
+// skipped and its share of chunks falls to whoever is running.
+//
+// A pool shuts down through Shutdown (graceful drain) or Close. After
+// termination every For/Run runs entirely on the calling goroutine —
+// late submissions lose parallelism but never panic or deadlock.
 type Pool struct {
 	workers int
 	// chans[i] feeds helper worker i+1; worker 0 is the submitting
-	// goroutine. Capacity 1 lets a submitter hand off every batch
-	// without waiting for parked helpers to wake.
+	// goroutine. Capacity 1 lets a submitter hand off a batch without
+	// waiting for a parked helper to wake.
 	chans []chan batch
 	// next is the rotating dispatch cursor: each submission claims a
 	// window of helper channels starting here, so concurrent submitters
 	// of partial batches (tail rounds, small jobs) fan out across the
 	// helper set instead of hammering chans[0].
 	next atomic.Uint32
+
+	// state is the lifecycle: open → draining (admission closed, in-
+	// flight jobs finishing) → terminated (helper channels closed).
+	state atomic.Int32
+	// jobs counts admitted jobs (Enter); the drained channel closes when
+	// it reaches zero during draining.
+	jobs        atomic.Int64
+	drained     chan struct{}
+	drainedOnce sync.Once
+	// senders counts goroutines currently inside a channel-send window.
+	// Senders increment it before loading state; terminate stores the
+	// terminated state before polling it to zero — so once terminate
+	// observes zero, no goroutine can reach the channels again, and
+	// closing them cannot race a send.
+	senders atomic.Int64
+
+	// Backpressure / serving counters surfaced by Stats.
+	busyHelpers  atomic.Int64
+	jobsAdmitted atomic.Int64
+	jobsRejected atomic.Int64
+	jobsCanceled atomic.Int64
 }
 
 type batch struct {
 	fn func(w int)
-	wg *sync.WaitGroup
 }
 
+// Lifecycle states; see Pool.state.
+const (
+	stateOpen int32 = iota
+	stateDraining
+	stateTerminated
+)
+
 // NewPool starts a pool of the given size; workers <= 0 selects
-// Workers() (GOMAXPROCS). The helpers live until Close.
+// Workers() (GOMAXPROCS). The helpers live until Shutdown/Close.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = Workers()
 	}
-	p := &Pool{workers: workers, chans: make([]chan batch, workers-1)}
+	p := &Pool{
+		workers: workers,
+		chans:   make([]chan batch, workers-1),
+		drained: make(chan struct{}),
+	}
 	for i := range p.chans {
 		ch := make(chan batch, 1)
 		p.chans[i] = ch
 		w := i + 1
 		go func() {
 			for b := range ch {
+				p.busyHelpers.Add(1)
 				b.fn(w)
-				b.wg.Done()
+				p.busyHelpers.Add(-1)
 			}
 		}()
 	}
@@ -74,30 +114,23 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool size (the number of distinct worker IDs).
 func (p *Pool) Workers() int { return p.workers }
 
-// Run executes fn(w) once per worker — the submit/barrier primitive For
-// is built on. fn(0) runs on the calling goroutine; Run returns when
-// every worker has finished.
-func (p *Pool) Run(fn func(w int)) { p.run(p.workers-1, fn) }
-
-// run dispatches fn to `helpers` distinct helper workers, runs fn(0)
-// inline, and waits. The helper window starts at a rotating offset
-// (atomically reserved per submission) so concurrent partial batches
-// land on disjoint helpers when capacity allows; each helper still
-// reports its own fixed worker ID.
-func (p *Pool) run(helpers int, fn func(w int)) {
-	if helpers <= 0 {
+// Run executes fn(w) exactly once for every worker ID in [0, Workers()),
+// in parallel across the pool, returning when all have finished. IDs are
+// claimed dynamically: the calling goroutine participates (and executes
+// every ID itself if the helpers are busy — e.g. for a nested or
+// post-shutdown call), so fn(w) for a given w runs on exactly one
+// goroutine per call, which is the per-worker-state contract, but not
+// necessarily on the same goroutine between calls.
+func (p *Pool) Run(fn func(w int)) {
+	if p.workers == 1 {
 		fn(0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(helpers)
-	b := batch{fn: fn, wg: &wg}
-	start := int((p.next.Add(uint32(helpers)) - uint32(helpers)) % uint32(len(p.chans)))
-	for i := 0; i < helpers; i++ {
-		p.chans[(start+i)%len(p.chans)] <- b
-	}
-	fn(0)
-	wg.Wait()
+	p.forOn(nil, p.workers, 1, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			fn(w)
+		}
+	})
 }
 
 // For executes fn over [0, n) in chunks of at most grain indices, in
@@ -108,8 +141,18 @@ func (p *Pool) run(helpers int, fn func(w int)) {
 // may use w to index per-worker state without synchronization. A grain
 // <= 0 selects a default giving each worker a few chunks. Small ranges
 // (n <= grain) and 1-worker pools run inline on the caller's goroutine —
-// still in chunks of at most grain — with w = 0.
+// still in chunks of at most grain — with w = 0. Nested calls (For from
+// inside a batch function) and post-shutdown calls are safe: the claim
+// barrier guarantees the submitter can always finish the range itself.
 func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
+	p.forOn(nil, n, grain, fn)
+}
+
+// forOn is the shared claim-based For implementation: when done is
+// non-nil, workers stop executing chunks once it is closed (see ForCtx);
+// remaining chunks are still claimed (cheap atomic fast-forward) so the
+// completion barrier terminates.
+func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -117,7 +160,7 @@ func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
 		grain = n/(p.workers*4) + 1
 	}
 	if p.workers == 1 || n <= grain {
-		forSerial(n, grain, fn)
+		forSerial(done, n, grain, fn)
 		return
 	}
 	// Wake only as many helpers as there are chunks beyond the caller's
@@ -127,9 +170,26 @@ func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
 	if helpers > nChunks-1 {
 		helpers = nChunks - 1
 	}
+	// The barrier counts chunk completions, not helper handoffs: Wait
+	// returns when every chunk has been claimed and finished, no matter
+	// who ran it. A dispatched batch that no helper ever starts claims
+	// nothing and owes nothing — which is exactly why nested submission
+	// cannot deadlock: the submitter's own claim loop can always drain
+	// the cursor, and it only ever waits for chunks that are actively
+	// executing on some other worker.
 	var cursor atomic.Int64
-	p.run(helpers, func(w int) {
+	var wg sync.WaitGroup
+	wg.Add(nChunks)
+	loop := func(w int) {
+		canceled := false
 		for {
+			if done != nil && !canceled {
+				select {
+				case <-done:
+					canceled = true
+				default:
+				}
+			}
 			start := int(cursor.Add(int64(grain))) - grain
 			if start >= n {
 				return
@@ -138,14 +198,53 @@ func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
 			if end > n {
 				end = n
 			}
-			fn(w, start, end)
+			if !canceled {
+				fn(w, start, end)
+			}
+			wg.Done()
 		}
-	})
+	}
+	p.dispatch(helpers, loop)
+	loop(0)
+	wg.Wait()
+}
+
+// dispatch offers the batch to up to `helpers` distinct helper channels,
+// starting at the rotating offset. Sends are non-blocking: a helper with
+// a full queue is skipped (its share of chunks falls to the claimants),
+// so dispatch never stalls the submitter and never blocks inside a
+// nested call. The senders counter fences the sends against Shutdown's
+// channel close; after termination the batch is simply not dispatched.
+func (p *Pool) dispatch(helpers int, fn func(w int)) {
+	if helpers <= 0 {
+		return
+	}
+	p.senders.Add(1)
+	if p.state.Load() == stateTerminated {
+		p.senders.Add(-1)
+		return
+	}
+	b := batch{fn: fn}
+	start := int((p.next.Add(uint32(helpers)) - uint32(helpers)) % uint32(len(p.chans)))
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.chans[(start+i)%len(p.chans)] <- b:
+		default:
+		}
+	}
+	p.senders.Add(-1)
 }
 
 // forSerial is the inline path: worker 0, chunks of at most grain.
-func forSerial(n, grain int, fn func(w, lo, hi int)) {
+func forSerial(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
 	for lo := 0; lo < n; lo += grain {
+		if done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
 		hi := lo + grain
 		if hi > n {
 			hi = n
@@ -166,6 +265,12 @@ func forSerial(n, grain int, fn func(w, lo, hi int)) {
 // call distinct pieces may run concurrently, so fn must only touch
 // piece-local or disjoint state.
 func (p *Pool) RunRanges(n, pieces int, fn func(i, lo, hi int)) {
+	p.runRangesOn(nil, n, pieces, fn)
+}
+
+// runRangesOn is the shared RunRanges implementation; done is the
+// cancellation channel (see RunRangesCtx).
+func (p *Pool) runRangesOn(done <-chan struct{}, n, pieces int, fn func(i, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -176,7 +281,7 @@ func (p *Pool) RunRanges(n, pieces int, fn func(i, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	p.For(pieces, 1, func(_, plo, phi int) {
+	p.forOn(done, pieces, 1, func(_, plo, phi int) {
 		for i := plo; i < phi; i++ {
 			fn(i, i*n/pieces, (i+1)*n/pieces)
 		}
@@ -187,14 +292,6 @@ func (p *Pool) RunRanges(n, pieces int, fn func(i, lo, hi int)) {
 // for use with the pool's worker IDs as shard keys.
 func (p *Pool) NewCounter() *Counter {
 	return &Counter{shards: make([]paddedInt64, p.workers)}
-}
-
-// Close shuts down the helper goroutines. The pool must be idle; For and
-// Run must not be called after Close.
-func (p *Pool) Close() {
-	for _, ch := range p.chans {
-		close(ch)
-	}
 }
 
 var (

@@ -216,19 +216,15 @@ func TestPoolDispatchRotates(t *testing.T) {
 	p := NewPool(workers)
 	defer p.Close()
 	seen := make(map[int]bool)
-	var mu sync.Mutex
-	// run(1, fn) wakes exactly one helper, which reports its own fixed
-	// worker ID; with a rotating start offset, consecutive single-helper
-	// batches land on different channels.
+	// dispatch(1, fn) offers a batch to exactly one helper, which
+	// reports its own fixed worker ID; with a rotating start offset,
+	// consecutive single-helper batches land on different channels.
+	// Waiting for each delivery keeps the queues empty so no offer is
+	// dropped.
 	for call := 0; call < 3*(workers-1); call++ {
-		p.run(1, func(w int) {
-			if w == 0 {
-				return // caller's share
-			}
-			mu.Lock()
-			seen[w] = true
-			mu.Unlock()
-		})
+		got := make(chan int, 1)
+		p.dispatch(1, func(w int) { got <- w })
+		seen[<-got] = true
 	}
 	if len(seen) < 2 {
 		t.Errorf("single-helper batches woke only helpers %v; want rotation across channels", seen)

@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/bloomier"
 	"repro/internal/core"
 	"repro/internal/erasure"
@@ -86,11 +89,24 @@ func Peel(g *Hypergraph, k int) *SeqPeelResult { return core.Sequential(g, k) }
 // PeelParallel runs the round-synchronous parallel peeling process the
 // paper analyzes: every round removes all vertices of degree < k at once,
 // across all CPU cores.
+//
+// Deprecated: use Runtime.Peel, which adds context cancellation and
+// admission control. PeelParallel runs on the package-default Runtime.
 func PeelParallel(g *Hypergraph, k int) *PeelResult {
-	return core.Parallel(g, k, core.Options{})
+	res, err := DefaultRuntime().Peel(context.Background(), g, k, PeelOptions{})
+	if err != nil {
+		// Only reachable if the default Runtime was shut down; keep the
+		// historical cannot-fail contract (degraded to inline serial).
+		return core.Parallel(g, k, core.Options{})
+	}
+	return res
 }
 
-// PeelParallelOpts is PeelParallel with explicit options.
+// PeelParallelOpts is PeelParallel with explicit options (including an
+// explicit Options.Pool or Options.Workers, which are honored here).
+//
+// Deprecated: use Runtime.Peel, which adds context cancellation and
+// admission control.
 func PeelParallelOpts(g *Hypergraph, k int, opts PeelOptions) *PeelResult {
 	return core.Parallel(g, k, opts)
 }
@@ -98,8 +114,17 @@ func PeelParallelOpts(g *Hypergraph, k int, opts PeelOptions) *PeelResult {
 // PeelSubtables runs the Appendix B subround process on a partitioned
 // hypergraph: each round peels the r subtables one after another, each in
 // parallel internally.
+//
+// Deprecated: use Runtime.PeelSubtables, which adds context cancellation
+// and admission control. PeelSubtables runs on the package-default
+// Runtime.
 func PeelSubtables(g *Hypergraph, k int) *PeelResult {
-	return core.Subtables(g, k, core.Options{})
+	res, err := DefaultRuntime().PeelSubtables(context.Background(), g, k, PeelOptions{})
+	if err != nil {
+		// See PeelParallel: preserve the cannot-fail contract.
+		return core.Subtables(g, k, core.Options{})
+	}
+	return res
 }
 
 // Threshold returns the k-core emptiness threshold c*(k,r) of Equation
@@ -128,9 +153,18 @@ func NewErasureCode(checkCells, r int, seed uint64) *ErasureCode {
 }
 
 // BuildMPHF builds a minimal perfect hash function over distinct keys
-// using γ = 1.23 table overhead (edge density just below c*(2,3)).
+// using γ = 1.23 table overhead (edge density just below c*(2,3)). It
+// runs on the package-default Runtime; servers should use
+// Runtime.BuildMPHF for cancellation and admission control.
 func BuildMPHF(keys []uint64, seed uint64) (*MPHF, error) {
-	return mphf.Build(keys, mphf.DefaultGamma, seed, 10)
+	f, err := DefaultRuntime().BuildMPHF(context.Background(), keys, seed)
+	if errors.Is(err, ErrRuntimeClosed) {
+		// Only reachable if the default Runtime was shut down; keep the
+		// historical behavior (degraded to inline serial), consistent
+		// with PeelParallel's fallback.
+		return mphf.Build(keys, mphf.DefaultGamma, seed, 10)
+	}
+	return f, err
 }
 
 // StaticMap is a Bloomier-style static key → value map built by peeling;
@@ -171,9 +205,17 @@ func NewRandomXORSAT(n, m, r int, seed uint64) *XORSATInstance {
 // protocol (strata-estimator sizing + subtracted-table decode) between
 // two key sets, returning each side's private keys and the total bytes a
 // networked deployment would transfer. headroom >= 1.25 oversizes the
-// difference table for safety.
+// difference table for safety. It runs on the package-default Runtime;
+// servers should use Runtime.Reconcile for cancellation and admission
+// control.
 func ReconcileSets(local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
-	return iblt.Reconcile(local, remote, seed, headroom)
+	onlyLocal, onlyRemote, wireBytes, err = DefaultRuntime().Reconcile(context.Background(), local, remote, seed, headroom)
+	if errors.Is(err, ErrRuntimeClosed) {
+		// See BuildMPHF: preserve pre-Runtime behavior after a default-
+		// Runtime shutdown.
+		return iblt.Reconcile(local, remote, seed, headroom)
+	}
+	return onlyLocal, onlyRemote, wireBytes, err
 }
 
 // SolveXORSAT solves an instance by peeling plus Gaussian elimination on
@@ -185,49 +227,63 @@ func SolveXORSAT(in *XORSATInstance) ([]uint8, error) {
 }
 
 // WorkerPool is a persistent set of worker goroutines shared by peeling
-// jobs: peels, IBLT decodes, MPHF/static-map builds, erasure decodes,
-// and set reconciliations all accept one through their ...WithPool /
-// Options.Pool entry points, so a server handles many requests without
-// spawning goroutines or pools per request.
+// jobs. A Runtime owns one (Runtime.Pool exposes it); the deprecated
+// ...WithPool / Options.Pool entry points accept one directly.
 type WorkerPool = parallel.Pool
 
 // NewWorkerPool starts a pool of the given size (workers <= 0 selects
 // GOMAXPROCS). Close it when done.
+//
+// Deprecated: use NewRuntime, which owns a pool, adds admission control,
+// cancellation, graceful Shutdown, and Stats. NewWorkerPool remains for
+// callers of the deprecated ...WithPool entry points.
 func NewWorkerPool(workers int) *WorkerPool { return parallel.NewPool(workers) }
 
 // JobGroup runs independent peeling jobs concurrently on one shared
 // WorkerPool; see NewJobGroup.
+//
+// Deprecated: use Runtime.Go, which adds context-aware admission and
+// cancellation and is drained by Runtime.Shutdown.
 type JobGroup = parallel.Group
 
 // NewJobGroup returns a JobGroup whose jobs execute on pool. maxJobs > 0
 // bounds how many jobs run simultaneously (admission control for
 // servers); <= 0 means unbounded. Each job receives the shared pool and
 // should call the ...WithPool variants so all its parallelism stays on
-// it:
+// it.
 //
-//	pool := repro.NewWorkerPool(0)
-//	defer pool.Close()
-//	g := repro.NewJobGroup(pool, 8)
+// Deprecated: use Runtime.Go with NewRuntime — the same admission
+// bound (RuntimeOptions.MaxJobs) plus context cancellation:
+//
+//	rt := repro.NewRuntime(repro.RuntimeOptions{MaxJobs: 8})
+//	defer rt.Shutdown(context.Background())
 //	for _, req := range requests {
-//	    g.Go(func(p *repro.WorkerPool) error {
-//	        res := req.table.DecodeParallelWithPool(p)
+//	    wait, _ := rt.Go(ctx, func(ctx context.Context, p *repro.WorkerPool) error {
+//	        res, err := req.table.DecodeParallelFrontierCtx(ctx, p)
 //	        ...
 //	    })
 //	}
-//	err := g.Wait()
 func NewJobGroup(pool *WorkerPool, maxJobs int) *JobGroup { return pool.NewGroup(maxJobs) }
 
 // BuildMPHFWithPool is BuildMPHF on an explicit shared pool.
+//
+// Deprecated: use Runtime.BuildMPHF.
 func BuildMPHFWithPool(keys []uint64, seed uint64, pool *WorkerPool) (*MPHF, error) {
 	return mphf.BuildWithPool(keys, mphf.DefaultGamma, seed, 10, pool)
 }
 
 // BuildStaticMapWithPool is BuildStaticMap on an explicit shared pool.
+//
+// Deprecated: use Runtime.BuildStaticMap (note: it uses the fully
+// parallel construction pipeline, whose foreign-key lookups may differ;
+// build keys look up identical values).
 func BuildStaticMapWithPool(keys, values []uint64, seed uint64, pool *WorkerPool) (*StaticMap, error) {
 	return bloomier.BuildWithPool(keys, values, bloomier.DefaultGamma, seed, 10, pool)
 }
 
 // ReconcileSetsWithPool is ReconcileSets on an explicit shared pool.
+//
+// Deprecated: use Runtime.Reconcile.
 func ReconcileSetsWithPool(local, remote []uint64, seed uint64, headroom float64, pool *WorkerPool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
 	return iblt.ReconcileWithPool(local, remote, seed, headroom, pool)
 }

@@ -1,0 +1,379 @@
+package repro
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/bloomier"
+	"repro/internal/core"
+	"repro/internal/iblt"
+	"repro/internal/mphf"
+	"repro/internal/parallel"
+)
+
+// ErrRuntimeClosed is returned for work submitted to a Runtime after
+// Shutdown began, and by the second and later Shutdown calls. It wraps
+// the pool-level sentinel, so errors.Is works against either.
+var ErrRuntimeClosed = parallel.ErrClosed
+
+// RuntimeOptions configure NewRuntime.
+type RuntimeOptions struct {
+	// Workers is the worker-pool size all jobs share; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+
+	// MaxJobs bounds how many jobs run simultaneously; admission of the
+	// next job blocks (respecting its context) until a slot frees.
+	// <= 0 means unbounded. A bound caps the per-job buffer memory and
+	// goroutine count of a server admitting unbounded requests.
+	MaxJobs int
+}
+
+// RuntimeStats is a snapshot of the Runtime's backpressure counters; see
+// parallel.Stats for field semantics.
+type RuntimeStats = parallel.Stats
+
+// Runtime is the serving handle for the peeling runtime: one persistent
+// worker pool, shared by any number of concurrent jobs, behind a
+// context-first API. Every method admits the request as a job (subject
+// to MaxJobs), runs it with all parallelism pinned to the shared pool,
+// and honors ctx cancellation at the round/subround barriers of the
+// underlying peeling process — the paper's O(log log n) round structure
+// is what makes cancellation cheap: each job already crosses a barrier
+// many times, so a single check per barrier aborts a canceled job within
+// one round of extra work.
+//
+// A Runtime is safe for concurrent use. Shut it down with Shutdown,
+// which stops admission, drains in-flight jobs, and releases the
+// workers. Jobs whose context is canceled return ctx.Err() and are
+// counted in Stats().JobsCanceled.
+//
+//	rt := repro.NewRuntime(repro.RuntimeOptions{MaxJobs: 32})
+//	defer rt.Shutdown(context.Background())
+//	res, err := rt.Decode(ctx, table)
+type Runtime struct {
+	pool *parallel.Pool
+	sem  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	active int           // admitted jobs currently running
+	idle   chan struct{} // created by Shutdown when it must wait; closed at active == 0
+}
+
+// NewRuntime starts a Runtime with its own worker pool.
+func NewRuntime(opts RuntimeOptions) *Runtime {
+	rt := &Runtime{pool: parallel.NewPool(opts.Workers)}
+	if opts.MaxJobs > 0 {
+		rt.sem = make(chan struct{}, opts.MaxJobs)
+	}
+	return rt
+}
+
+var (
+	defaultRuntime     *Runtime
+	defaultRuntimeOnce sync.Once
+)
+
+// DefaultRuntime returns the lazily created process-wide Runtime backing
+// the package's one-shot convenience functions (PeelParallel, BuildMPHF,
+// ReconcileSets, ...). It runs on the process-wide default worker pool
+// (shared with parallel.Default) with unbounded admission. Servers
+// should create their own Runtime to pick Workers/MaxJobs and to own
+// shutdown; shutting down the default Runtime degrades the package-level
+// helpers to inline serial execution for the rest of the process.
+func DefaultRuntime() *Runtime {
+	defaultRuntimeOnce.Do(func() {
+		defaultRuntime = &Runtime{pool: parallel.Default()}
+	})
+	return defaultRuntime
+}
+
+// Workers returns the size of the Runtime's worker pool.
+func (rt *Runtime) Workers() int { return rt.pool.Workers() }
+
+// Pool returns the underlying shared worker pool, for interoperating
+// with the deprecated ...WithPool entry points during migration.
+func (rt *Runtime) Pool() *WorkerPool { return rt.pool }
+
+// Stats returns a snapshot of the Runtime's backpressure counters:
+// queue depth and helper occupancy of the shared pool, and the
+// admitted/rejected/canceled job totals. Serving layers use it to size
+// MaxJobs and detect saturation.
+func (rt *Runtime) Stats() RuntimeStats { return rt.pool.Stats() }
+
+// admit reserves a job slot, blocking while the MaxJobs bound is reached
+// (admission respects ctx) and failing with ErrRuntimeClosed once
+// Shutdown has begun.
+func (rt *Runtime) admit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if rt.sem != nil {
+		select {
+		case rt.sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		if rt.sem != nil {
+			<-rt.sem
+		}
+		rt.pool.NoteRejected()
+		return ErrRuntimeClosed
+	}
+	rt.active++
+	rt.mu.Unlock()
+	return nil
+}
+
+// finish releases the job slot reserved by admit, completing a pending
+// shutdown when the last job leaves.
+func (rt *Runtime) finish() {
+	if rt.sem != nil {
+		<-rt.sem
+	}
+	rt.mu.Lock()
+	rt.active--
+	if rt.active == 0 && rt.idle != nil {
+		close(rt.idle)
+		rt.idle = nil
+	}
+	rt.mu.Unlock()
+}
+
+// runJob executes job synchronously on the calling goroutine as an
+// admitted job of the Runtime and its pool.
+func (rt *Runtime) runJob(ctx context.Context, job func(ctx context.Context, pool *parallel.Pool) error) error {
+	if err := rt.admit(ctx); err != nil {
+		return err
+	}
+	defer rt.finish()
+	return rt.execute(ctx, job)
+}
+
+// execute runs an already admitted job on the current goroutine,
+// registering it with the pool (for drain accounting) and recording
+// cancellations in the pool stats.
+func (rt *Runtime) execute(ctx context.Context, job func(ctx context.Context, pool *parallel.Pool) error) error {
+	exit, err := rt.pool.Enter()
+	if err != nil {
+		return err
+	}
+	defer exit()
+	err = job(ctx, rt.pool)
+	if parallel.IsCancellation(err) {
+		rt.pool.NoteCanceled()
+	}
+	return err
+}
+
+// Go submits an arbitrary job to run asynchronously on the shared pool —
+// the escape hatch subsuming the deprecated JobGroup for workloads the
+// typed methods don't cover. The job receives ctx and the shared pool
+// and should pass them to the ctx-aware entry points (or check ctx at
+// its own barriers). Go blocks only for admission (MaxJobs), respecting
+// ctx; it returns a wait function that blocks until the job finishes and
+// reports its error. Discarding the wait function is allowed — the job
+// still runs and Shutdown still drains it.
+//
+//	wait, err := rt.Go(ctx, func(ctx context.Context, p *repro.WorkerPool) error {
+//	    res, err := table.DecodeParallelFrontierCtx(ctx, p)
+//	    ...
+//	})
+func (rt *Runtime) Go(ctx context.Context, job func(ctx context.Context, pool *WorkerPool) error) (wait func() error, err error) {
+	if err := rt.admit(ctx); err != nil {
+		return nil, err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		defer rt.finish()
+		errc <- rt.execute(ctx, job)
+	}()
+	var once sync.Once
+	var res error
+	return func() error {
+		once.Do(func() { res = <-errc })
+		return res
+	}, nil
+}
+
+// Shutdown gracefully drains the Runtime: admission stops immediately
+// (subsequent calls return ErrRuntimeClosed), in-flight jobs run to
+// completion, and the worker pool is then released. It returns nil once
+// everything has drained. If ctx expires first it returns ctx.Err();
+// the Runtime keeps draining in the background and the workers are
+// released when the last job finishes (Go cannot force-kill goroutines —
+// cancel the jobs' own contexts to make the drain converge faster).
+// Calling Shutdown again returns ErrRuntimeClosed.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrRuntimeClosed
+	}
+	rt.closed = true
+	if rt.active == 0 {
+		// Already drained: complete synchronously — even an expired ctx
+		// reports success for a shutdown that has nothing left to wait
+		// for (the pool drain below is likewise immediate).
+		rt.mu.Unlock()
+		return rt.pool.Shutdown(ctx)
+	}
+	idle := make(chan struct{})
+	rt.idle = idle
+	rt.mu.Unlock()
+
+	select {
+	case <-idle:
+		return rt.pool.Shutdown(ctx)
+	case <-ctx.Done():
+		go func() {
+			<-idle
+			_ = rt.pool.Shutdown(context.Background())
+		}()
+		return ctx.Err()
+	}
+}
+
+// Peel runs the round-synchronous parallel peeling process on the
+// shared pool. opts selects scan policy, round cap, and grain; its Pool
+// and Workers fields are ignored (the Runtime's pool always wins).
+// Cancellation is checked at every round barrier: a canceled peel stops
+// within one round of extra work and returns (nil, ctx.Err()).
+func (rt *Runtime) Peel(ctx context.Context, g *Hypergraph, k int, opts PeelOptions) (*PeelResult, error) {
+	var res *PeelResult
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		opts.Workers = 0
+		opts.Pool = pool
+		var err error
+		res, err = core.ParallelCtx(ctx, g, k, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PeelSubtables runs the Appendix B subround peeling process on the
+// shared pool; g must be partitioned. Cancellation is checked at every
+// subround barrier.
+func (rt *Runtime) PeelSubtables(ctx context.Context, g *Hypergraph, k int, opts PeelOptions) (*PeelResult, error) {
+	var res *PeelResult
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		opts.Workers = 0
+		opts.Pool = pool
+		var err error
+		res, err = core.SubtablesCtx(ctx, g, k, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Decode peels an IBLT with the work-efficient parallel frontier
+// decoder on the shared pool. Decoding is destructive — Clone first if
+// the table is still needed — and a canceled decode leaves the table
+// partially decoded (discard it). Cancellation is checked at every
+// subround barrier.
+func (rt *Runtime) Decode(ctx context.Context, t *IBLT) (*IBLTParallelResult, error) {
+	var res *IBLTParallelResult
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var err error
+		res, err = t.DecodeParallelFrontierCtx(ctx, pool)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// BuildMPHF builds a minimal perfect hash function over distinct keys
+// (γ = 1.23, up to 10 seed attempts) with the hashing and index-build
+// phases on the shared pool. Cancellation is checked at the phase
+// barriers of every attempt.
+func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*MPHF, error) {
+	var f *MPHF
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var err error
+		f, err = mphf.BuildCtx(ctx, keys, mphf.DefaultGamma, seed, 10, pool)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// BuildStaticMap builds an immutable key → value map (Bloomier filter)
+// with the fully parallel pipeline — subround peeling plus layered
+// back-substitution — on the shared pool. Cancellation is checked at the
+// subround and layer barriers. Build keys look up identical values to
+// the serial construction; foreign keys may read different garbage (the
+// two peel orders choose different free-variable completions).
+func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, seed uint64) (*StaticMap, error) {
+	var f *StaticMap
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var err error
+		f, err = bloomier.BuildParallelCtx(ctx, keys, values, bloomier.DefaultGamma, seed, 10, pool)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reconcile runs the full two-message IBLT set-reconciliation protocol
+// between two key sets on the shared pool: parallel strata-estimator
+// inserts, bulk table inserts, and the frontier decode. headroom >= 1.25
+// oversizes the difference table for safety. The returned difference
+// sides are sorted (deterministic at every pool size). Cancellation is
+// checked between protocol phases and at the decode's subround barriers.
+func (rt *Runtime) Reconcile(ctx context.Context, local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	err = rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var jerr error
+		onlyLocal, onlyRemote, wireBytes, jerr = iblt.ReconcileCtx(ctx, local, remote, seed, headroom, pool)
+		return jerr
+	})
+	if err != nil {
+		return nil, nil, wireBytes, err
+	}
+	return onlyLocal, onlyRemote, wireBytes, nil
+}
+
+// EncodeErasure computes the check block of a Biff-style erasure code
+// for data, with the per-symbol cell updates fanned out over the shared
+// pool (cell-for-cell identical to the serial encoder).
+func (rt *Runtime) EncodeErasure(ctx context.Context, code *ErasureCode, data []uint64) ([]ErasureCell, error) {
+	var checks []ErasureCell
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var err error
+		checks, err = code.EncodeCtx(ctx, data, pool)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return checks, nil
+}
+
+// DecodeErasure reconstructs the missing entries of data in place
+// (present[i] reports whether data[i] survived) with both phases on the
+// shared pool: parallel subtraction of received symbols, then the
+// round-synchronous parallel peel of the missing set. Cancellation is
+// checked inside subtraction and at every peeling round barrier; a
+// canceled decode leaves data/present partially updated (treat the block
+// as abandoned).
+func (rt *Runtime) DecodeErasure(ctx context.Context, code *ErasureCode, data []uint64, present []bool, checks []ErasureCell) error {
+	return rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		return code.DecodeCtx(ctx, data, present, checks, pool)
+	})
+}

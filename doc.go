@@ -66,6 +66,20 @@
 // variants, WorkerPool/JobGroup) remain as deprecated wrappers over the
 // package-default Runtime (DefaultRuntime) and an explicit pool.
 //
+// The data-structure builders consume a peel order and an edge → vertex
+// orientation, produced by the ordered parallel peel (PeelOrdered /
+// Runtime.PeelOrdered): the round-synchronous process with a
+// minimum-endpoint claim rule, whose round-major PeelOrder/FreeVertex
+// output is bit-identical at every worker count. Reverse round-major
+// order is a valid elimination order for k = 2 — within a round every
+// peeled edge has a distinct free vertex and non-free endpoints
+// finalize strictly later — so the MPHF g-value assignment and the
+// Bloomier back-substitution run round-parallel too: no serial phase
+// remains in BuildMPHF/BuildStaticMap, and a canceled build stops at
+// the next round barrier rather than the next phase. Failed builds
+// report the last attempt's 2-core survivor count through
+// ErrMPHFBuildFailed / ErrStaticMapBuildFailed.
+//
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream
 // keyed by chunk index, and the CSR incidence index is built with a

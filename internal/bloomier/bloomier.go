@@ -42,14 +42,20 @@ type Filter struct {
 
 // ErrBuildFailed is returned when peeling leaves a non-empty 2-core on
 // every attempted seed (with distinct keys this is astronomically rare
-// at γ = 1.23; the usual cause is duplicate keys).
+// at γ = 1.23; the usual cause is duplicate keys). The returned error
+// wraps it together with the final attempt's survivor count ("N edges
+// left in 2-core after attempt T"), so errors.Is(err, ErrBuildFailed)
+// works and the message says how close the last attempt came — the
+// number to look at when tuning gamma or maxTries.
 var ErrBuildFailed = errors.New("bloomier: construction failed on all attempts")
 
 // Build constructs a filter mapping keys[i] → values[i]. Keys must be
 // distinct. gamma is the slot/key ratio (use DefaultGamma); maxTries
-// bounds seed retries. Construction-side hashing and the hypergraph
-// index build run on the process-wide default pool; use BuildWithPool
-// to pin them to an explicit one.
+// bounds seed retries. The whole build path — hashing, index build, the
+// ordered parallel peel, and round-parallel back-substitution — runs on
+// the process-wide default pool; use BuildWithPool to pin it to an
+// explicit one. The resulting filter is identical either way and at
+// every pool size.
 func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
 	return BuildWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
 }
@@ -65,20 +71,25 @@ func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, w
 	return BuildWithPool(keys, values, gamma, seed, maxTries, pool)
 }
 
-// BuildWithPool is Build with the construction phases (per-key edge
-// hashing on every retry attempt, CSR incidence build) run on an
-// explicit worker pool. Peeling and back-substitution stay sequential;
-// see BuildParallel for the fully parallel pipeline. All per-build state
-// is owned by the call, so many builds may run concurrently on one
-// shared pool.
+// BuildWithPool is Build with every construction phase — per-key edge
+// hashing on each retry attempt, the CSR incidence build, the peel, and
+// the back-substitution — run on an explicit worker pool. The peel is
+// the ordered round-synchronous process (core.ParallelOrder), whose
+// round-major order and minimum-endpoint orientation are bit-stable, so
+// the resulting filter is identical at every pool size; back-
+// substitution processes the peel rounds in reverse with full
+// parallelism inside each round. See BuildParallel for the subround
+// (Appendix B) pipeline, which differs only in the peel process it
+// uses. All per-build state is owned by the call, so many builds may
+// run concurrently on one shared pool.
 func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	return BuildCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
 }
 
 // BuildCtx is BuildWithPool with cooperative cancellation, checked at
-// the phase barriers of every retry attempt; the serial peel and
-// back-substitution are not interrupted. On cancellation it returns
-// (nil, ctx.Err()).
+// every round barrier of every attempt's peel and back-substitution
+// sweep — a canceled build stops within one round of extra work. On
+// cancellation it returns (nil, ctx.Err()).
 func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
@@ -94,6 +105,7 @@ func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed ui
 	if subSize < 2 {
 		subSize = 2
 	}
+	survivors := 0
 	for try := 0; try < maxTries; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -102,15 +114,16 @@ func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed ui
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
 		}
-		ok, err := f.assign(ctx, keys, values, pool)
+		ok, left, err := f.assign(ctx, keys, values, pool)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
 			return f, nil
 		}
+		survivors = left
 	}
-	return nil, ErrBuildFailed
+	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
 }
 
 func (f *Filter) vertices(x uint64) [arity]uint32 {
@@ -137,39 +150,48 @@ func (f *Filter) hashEdges(keys []uint64, pool *parallel.Pool) []uint32 {
 }
 
 // assign peels the key hypergraph and back-substitutes slot values so
-// that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; reports
-// whether peeling reached the empty 2-core. Edge hashing and the CSR
-// build fan out over the pool; ctx is checked at the phase barriers.
-func (f *Filter) assign(ctx context.Context, keys, values []uint64, pool *parallel.Pool) (bool, error) {
+// that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; it
+// reports whether peeling reached the empty 2-core and, when it did
+// not, how many edges survived (surfaced through ErrBuildFailed). The
+// peel is the ordered round-synchronous process and back-substitution
+// walks its rounds in reverse, the edges of one round in parallel —
+// sound for k = 2: within a round every peeled edge has a distinct free
+// vertex and non-free endpoints finalize strictly later (see
+// core.OrderedResult). ctx is checked at every round barrier.
+func (f *Filter) assign(ctx context.Context, keys, values []uint64, pool *parallel.Pool) (ok bool, survivors int, err error) {
 	n := f.subSize * arity
 	edges := f.hashEdges(keys, pool)
 	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
-	if err := ctx.Err(); err != nil {
-		return false, err
+	ord, err := core.ParallelOrderCtx(ctx, g, 2, core.Options{Pool: pool})
+	if err != nil {
+		return false, 0, err
 	}
-	peel := core.Sequential(g, 2)
-	if !peel.Empty() {
-		return false, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return false, err
+	if !ord.Empty() {
+		return false, ord.CoreEdges, nil
 	}
 	f.slots = make([]uint64, n)
-	// Reverse peel order: the free vertex's slot is still untouched when
-	// its edge is processed, and the other two slots are final.
-	for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
-		e := int(peel.PeelOrder[i])
-		free := peel.FreeVertex[e]
-		vs := g.EdgeVertices(e)
-		acc := values[e]
-		for _, u := range vs {
-			if u != free {
-				acc ^= f.slots[u]
+	// Reverse round-major order: the free vertex's slot is still
+	// untouched when its edge is processed, and the other two slots are
+	// final.
+	for t := ord.Rounds; t >= 1; t-- {
+		seg := ord.RoundSegment(t)
+		if err := pool.ForCtx(ctx, len(seg), 1024, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := int(seg[i])
+				free := ord.FreeVertex[e]
+				acc := values[e]
+				for _, u := range g.EdgeVertices(int(e)) {
+					if u != free {
+						acc ^= f.slots[u]
+					}
+				}
+				f.slots[free] = acc
 			}
+		}); err != nil {
+			return false, 0, err
 		}
-		f.slots[free] = acc
 	}
-	return true, nil
+	return true, 0, nil
 }
 
 // Lookup returns the value stored for key x (arbitrary for foreign keys).
@@ -229,6 +251,7 @@ func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64,
 	if subSize < 2 {
 		subSize = 2
 	}
+	survivors := 0
 	for try := 0; try < maxTries; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -245,6 +268,7 @@ func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64,
 			return nil, err
 		}
 		if !res.Empty() {
+			survivors = res.CoreEdges
 			continue
 		}
 		f.slots = make([]uint64, n)
@@ -268,7 +292,7 @@ func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64,
 		}
 		return f, nil
 	}
-	return nil, ErrBuildFailed
+	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
 }
 
 // Slots returns the size of the slot array (≈ γ × keys); total storage is

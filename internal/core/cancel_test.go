@@ -107,6 +107,33 @@ func TestSubtablesCtxCancel(t *testing.T) {
 	}
 }
 
+// TestParallelOrderCtxCancel exercises the round-barrier checks of the
+// ordered peel: a context canceled after N barriers stops the peel at
+// the very next check, with zero further rounds of work.
+func TestParallelOrderCtxCancel(t *testing.T) {
+	g := hypergraph.Uniform(120000, 84000, 3, rng.New(8))
+	// Uncanceled: matches the ctx-free entry point and counts barriers.
+	full := &barrierCtx{cancelAfter: 1 << 30}
+	res, err := ParallelOrderCtx(full, g, 2, Options{})
+	if err != nil || !res.Empty() {
+		t.Fatalf("reference ordered peel: err=%v", err)
+	}
+	if full.calls.Load() < 5 {
+		t.Fatalf("reference crossed only %d barriers; instance too easy", full.calls.Load())
+	}
+	cc := &barrierCtx{cancelAfter: 3}
+	cres, err := ParallelOrderCtx(cc, g, 2, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ordered peel: err = %v, want Canceled", err)
+	}
+	if cres != nil {
+		t.Fatal("canceled ordered peel returned a result")
+	}
+	if got := cc.calls.Load(); got != 4 {
+		t.Fatalf("%d Err() calls after cancellation, want exactly 4", got)
+	}
+}
+
 // TestParallelCtxMatchesParallel checks the ctx path is a pure wrapper:
 // same rounds, history, and core as the ctx-free peeler.
 func TestParallelCtxMatchesParallel(t *testing.T) {

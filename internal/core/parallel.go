@@ -96,6 +96,108 @@ func drain(dst []uint32, shards [][]uint32) []uint32 {
 	return dst
 }
 
+// roundLoop is the Phase A machinery shared by the round-synchronous
+// peelers (ParallelCtx and ParallelOrderCtx): frontier seeding, the
+// per-round peel-set collection, and the frontier swap at the round
+// barrier. Phase B — how a round's edges are claimed and removed —
+// differs per peeler and stays in each one's round loop; the Phase B
+// code appends next-frontier candidates to bufs.next and tags them in
+// inFrontier with the round epoch, exactly once per round.
+type roundLoop struct {
+	s     *coreState
+	g     *hypergraph.Hypergraph
+	pool  *parallel.Pool
+	grain int
+	scan  ScanPolicy
+	bufs  *roundBuffers
+
+	frontier   []uint32
+	inFrontier []uint32 // epoch tags double as dedup marks
+	peelSet    []uint32
+}
+
+// newRoundLoop allocates the shared per-run state and, for the frontier
+// policy, seeds the round-1 frontier with a parallel degree scan into
+// the per-worker shards (the O(n) sequential scan would otherwise be a
+// serial pass before round 1). Shard drain order may shuffle the
+// frontier across worker counts, but collect treats the frontier as a
+// set — results are unaffected.
+func newRoundLoop(s *coreState, g *hypergraph.Hypergraph, pool *parallel.Pool, grain int, scan ScanPolicy) *roundLoop {
+	l := &roundLoop{
+		s: s, g: g, pool: pool, grain: grain, scan: scan,
+		bufs: newRoundBuffers(pool.Workers()),
+	}
+	if scan == Frontier {
+		l.inFrontier = make([]uint32, g.N)
+		pool.For(g.N, grain, func(w, lo, hi int) {
+			local := l.bufs.next[w]
+			for v := lo; v < hi; v++ {
+				if s.deg[v] < s.k {
+					local = append(local, uint32(v))
+				}
+			}
+			l.bufs.next[w] = local
+		})
+		l.frontier = drain(make([]uint32, 0, g.N), l.bufs.next)
+	}
+	return l
+}
+
+// collect runs Phase A: it gathers this round's peel set, marking its
+// vertices dead as they are collected, sharded over the pool. Each
+// vertex is visited exactly once — frontier entries are distinct within
+// a round (epoch-deduplicated by Phase B) and the full scan partitions
+// the vertex range — so the vdead marks are disjoint byte stores, and
+// the deg/vdead reads see the previous round's values across the round
+// barrier. Small frontiers (≤ grain) run inline on the submitter, so
+// the tail rounds pay no dispatch for the filter.
+func (l *roundLoop) collect() []uint32 {
+	l.peelSet = l.peelSet[:0]
+	var domain []uint32 // nil means scan the full vertex range
+	n := l.g.N
+	if l.scan == Frontier {
+		domain = l.frontier
+		n = len(l.frontier)
+		if n <= l.grain {
+			// Tail rounds: a frontier within one grain would run inline
+			// anyway; filtering it directly skips the closure and the
+			// shard drain, so small rounds cost exactly what the serial
+			// Phase A did.
+			for _, v := range domain {
+				if l.s.vdead[v] == 0 && l.s.deg[v] < l.s.k {
+					l.s.vdead[v] = 1
+					l.peelSet = append(l.peelSet, v)
+				}
+			}
+			return l.peelSet
+		}
+	}
+	l.pool.For(n, l.grain, func(w, lo, hi int) {
+		local := l.bufs.peel[w]
+		for i := lo; i < hi; i++ {
+			v := uint32(i)
+			if domain != nil {
+				v = domain[i]
+			}
+			if l.s.vdead[v] == 0 && l.s.deg[v] < l.s.k {
+				l.s.vdead[v] = 1
+				local = append(local, v)
+			}
+		}
+		l.bufs.peel[w] = local
+	})
+	l.peelSet = drain(l.peelSet, l.bufs.peel)
+	return l.peelSet
+}
+
+// advance merges the Phase B next-frontier shards into the frontier at
+// the round barrier. A no-op under FullScan.
+func (l *roundLoop) advance() {
+	if l.scan == Frontier {
+		l.frontier = drain(l.frontier[:0], l.bufs.next)
+	}
+}
+
 // Parallel runs the round-synchronous peeling process of the paper on g:
 // in each round, every vertex with degree < k is removed together with
 // its incident edges, all in parallel. The returned Result carries the
@@ -110,11 +212,13 @@ func drain(dst []uint32, shards [][]uint32) []uint32 {
 // several of its endpoints peel in the same round, and the degrees of the
 // other endpoints are decremented atomically.
 //
-// Both phases run on a persistent worker pool (see Options), and each
-// worker accumulates candidates in its own shard, merged at the round
-// barrier — there is no locking anywhere in the round loop, and the
-// shards are reused across rounds, which matters in the small-frontier
-// tail where a round does little work.
+// Both phases run on a persistent worker pool (see Options) and both
+// are sharded over it — Phase A filters the frontier in parallel chunks
+// (inline when the frontier fits one grain, so tail rounds pay no
+// dispatch), and each worker accumulates candidates in its own shard,
+// merged at the round barrier — there is no locking anywhere in the
+// round loop, and the shards are reused across rounds, which matters in
+// the small-frontier tail where a round does little work.
 func Parallel(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 	res, _ := ParallelCtx(context.Background(), g, k, opts)
 	return res
@@ -151,28 +255,7 @@ func ParallelCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Opti
 	// so that finish() and CoreDegreesValid see the usual representation.
 	eclaim := parallel.NewBitset(g.M)
 
-	var frontier, peelSet []uint32
-	inFrontier := make([]uint32, g.N) // epoch tags double as dedup marks
-	var epoch uint32
-	bufs := newRoundBuffers(pool.Workers())
-
-	if opts.Scan == Frontier {
-		// Seed the round-1 frontier with a parallel degree scan into the
-		// per-worker shards (the O(n) sequential scan would otherwise be
-		// the only serial pass left before round 1). Shard drain order
-		// may shuffle the frontier across worker counts, but Phase A
-		// treats the frontier as a set — results are unaffected.
-		pool.For(g.N, grain, func(w, lo, hi int) {
-			local := bufs.next[w]
-			for v := lo; v < hi; v++ {
-				if s.deg[v] < s.k {
-					local = append(local, uint32(v))
-				}
-			}
-			bufs.next[w] = local
-		})
-		frontier = drain(make([]uint32, 0, g.N), bufs.next)
-	}
+	loop := newRoundLoop(s, g, pool, grain, opts.Scan)
 
 	for round := 1; round <= maxRounds; round++ {
 		// Round barrier cancellation check: jobs abandoned mid-peel stop
@@ -180,32 +263,8 @@ func ParallelCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Opti
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Phase A: collect this round's peel set, marking its vertices
-		// dead as they are collected (each vertex is visited exactly once:
-		// frontier entries are epoch-deduplicated, and the full scan
-		// partitions the vertex range).
-		peelSet = peelSet[:0]
-		switch opts.Scan {
-		case Frontier:
-			for _, v := range frontier {
-				if s.vdead[v] == 0 && s.deg[v] < s.k {
-					s.vdead[v] = 1
-					peelSet = append(peelSet, v)
-				}
-			}
-		case FullScan:
-			pool.For(g.N, grain, func(w, lo, hi int) {
-				local := bufs.peel[w]
-				for v := lo; v < hi; v++ {
-					if s.vdead[v] == 0 && s.deg[v] < s.k {
-						s.vdead[v] = 1
-						local = append(local, uint32(v))
-					}
-				}
-				bufs.peel[w] = local
-			})
-			peelSet = drain(peelSet, bufs.peel)
-		}
+		// Phase A: collect this round's peel set (see roundLoop.collect).
+		peelSet := loop.collect()
 		if len(peelSet) == 0 {
 			break
 		}
@@ -213,9 +272,9 @@ func ParallelCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Opti
 		// Phase B: remove the peel set. Vertices in the set are distinct,
 		// so marking vdead needs no atomics (byte stores to distinct
 		// addresses); edge claims and degree decrements do.
-		epoch = uint32(round)
+		epoch := uint32(round)
 		pool.For(len(peelSet), grain, func(w, lo, hi int) {
-			local := bufs.next[w]
+			local := loop.bufs.next[w]
 			for i := lo; i < hi; i++ {
 				v := peelSet[i] // already marked dead in Phase A
 				for _, e := range g.VertexEdges(int(v)) {
@@ -232,22 +291,20 @@ func ParallelCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Opti
 						// tagged too (reading vdead here would race with
 						// a concurrent peel of u); Phase A filters them.
 						if opts.Scan == Frontier && d < s.k {
-							if atomic.SwapUint32(&inFrontier[u], epoch) != epoch {
+							if atomic.SwapUint32(&loop.inFrontier[u], epoch) != epoch {
 								local = append(local, u)
 							}
 						}
 					}
 				}
 			}
-			bufs.next[w] = local
+			loop.bufs.next[w] = local
 		})
 
 		alive -= len(peelSet)
 		res.Rounds = round
 		res.SurvivorHistory = append(res.SurvivorHistory, alive)
-		if opts.Scan == Frontier {
-			frontier = drain(frontier[:0], bufs.next)
-		}
+		loop.advance()
 	}
 	syncEdgeClaims(s.edead, eclaim, pool)
 	return s.finish(res), nil

@@ -13,7 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
@@ -45,7 +46,11 @@ type MPHF struct {
 
 // ErrBuildFailed is returned when every seed attempt left a non-empty
 // 2-core, which for distinct keys at γ ≥ 1.23 is astronomically unlikely;
-// the usual cause is duplicate keys.
+// the usual cause is duplicate keys. The returned error wraps it
+// together with the final attempt's survivor count ("N edges left in
+// 2-core after attempt T"), so errors.Is(err, ErrBuildFailed) works and
+// the message says how close the last attempt came — the number to look
+// at when tuning gamma or maxTries.
 var ErrBuildFailed = errors.New("mphf: construction failed on all attempts")
 
 // ErrDuplicateKeys is returned when the key set contains duplicates.
@@ -54,9 +59,11 @@ var ErrDuplicateKeys = errors.New("mphf: duplicate keys")
 // Build constructs an MPHF for the distinct keys using the given
 // vertex/key ratio gamma (use DefaultGamma) and an initial seed; it
 // retries with derived seeds up to maxTries times (10 is plenty).
-// Construction-side hashing and the hypergraph index build run on the
-// process-wide default pool; use BuildWithPool to pin them to an
-// explicit one. The resulting function is identical either way.
+// The whole build path — hashing, index build, the ordered parallel
+// peel, and the round-parallel g-value assignment — runs on the
+// process-wide default pool; use BuildWithPool to pin it to an explicit
+// one. The resulting function is identical either way and at every pool
+// size (the ordered peel is bit-stable across worker counts).
 func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, error) {
 	return BuildWithPool(keys, gamma, seed, maxTries, parallel.Default())
 }
@@ -74,21 +81,26 @@ func BuildWorkers(keys []uint64, gamma float64, seed uint64, maxTries, workers i
 	return BuildWithPool(keys, gamma, seed, maxTries, pool)
 }
 
-// BuildWithPool is Build with the construction phases (per-key edge
-// hashing on every retry attempt, CSR incidence build) run on an
-// explicit worker pool. Peeling and g-value assignment stay sequential —
-// they produce the peel order the assignment consumes. All per-build
-// state is owned by the call, so many builds may run concurrently on
-// one shared pool.
+// BuildWithPool is Build with every construction phase — per-key edge
+// hashing on each retry attempt, the CSR incidence build, the peel, and
+// the g-value assignment — run on an explicit worker pool. The peel is
+// the ordered round-synchronous process (core.ParallelOrder), whose
+// round-major order and minimum-endpoint orientation are bit-stable, so
+// the resulting function is identical at every pool size; the
+// assignment processes the peel rounds in reverse with full parallelism
+// inside each round (sound for k = 2: within a round every peeled edge
+// has a distinct free vertex and non-free endpoints finalize strictly
+// later). All per-build state is owned by the call, so many builds may
+// run concurrently on one shared pool.
 func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	return BuildCtx(context.Background(), keys, gamma, seed, maxTries, pool)
 }
 
 // BuildCtx is BuildWithPool with cooperative cancellation, checked at
-// the phase barriers of every retry attempt (edge hashing, CSR build,
-// peel, assignment) — the serial peel itself is not interrupted, so the
-// cancellation granularity is one phase of one attempt. On cancellation
-// it returns (nil, ctx.Err()).
+// every round barrier of every attempt's peel and assignment sweep (and
+// at the phase barriers between hashing, CSR build, peel, and
+// assignment) — a canceled build stops within one round of extra work,
+// not one phase. On cancellation it returns (nil, ctx.Err()).
 func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	if gamma < 1.1 {
 		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)
@@ -104,6 +116,7 @@ func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, ma
 	if subSize < 2 {
 		subSize = 2
 	}
+	survivors := 0
 	for try := 0; try < maxTries; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -112,20 +125,21 @@ func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, ma
 		for j := 0; j < arity; j++ {
 			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
 		}
-		ok, err := f.assign(ctx, keys, pool)
+		ok, left, err := f.assign(ctx, keys, pool)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
 			return f, nil
 		}
+		survivors = left
 	}
-	return nil, ErrBuildFailed
+	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
 }
 
 func checkDistinct(keys []uint64) error {
 	sorted := append([]uint64(nil), keys...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted) // ~4× the reflection-based sort.Slice on uint64s
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
 			return ErrDuplicateKeys
@@ -145,11 +159,15 @@ func (f *MPHF) vertices(x uint64) [arity]uint32 {
 }
 
 // assign peels the key hypergraph and computes g values; it reports
-// whether peeling reached the empty 2-core. Edge hashing and the CSR
-// build fan out over the pool (each key's vertices depend only on the
-// key and the attempt seeds, so parallel hashing is deterministic); ctx
-// is checked at the phase barriers.
-func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (bool, error) {
+// whether peeling reached the empty 2-core and, when it did not, how
+// many edges survived (the retry loop surfaces the last attempt's count
+// in ErrBuildFailed). Every phase runs on the pool: edge hashing and
+// the CSR build fan out chunk-wise (each key's vertices depend only on
+// the key and the attempt seeds, so parallel hashing is deterministic),
+// the peel is the ordered round-synchronous process, and the g-value
+// assignment walks the peel rounds in reverse with full parallelism
+// inside each round. ctx is checked at every round barrier.
+func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (ok bool, survivors int, err error) {
 	n := f.subSize * arity
 	edges := make([]uint32, len(keys)*arity)
 	if err := pool.ForCtx(ctx, len(keys), 2048, func(_, lo, hi int) {
@@ -158,41 +176,50 @@ func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (
 			copy(edges[i*arity:], vs[:])
 		}
 	}); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
-	if err := ctx.Err(); err != nil {
-		return false, err
+	ord, err := core.ParallelOrderCtx(ctx, g, 2, core.Options{Pool: pool})
+	if err != nil {
+		return false, 0, err
 	}
-	peel := core.Sequential(g, 2)
-	if !peel.Empty() {
-		return false, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return false, err
+	if !ord.Empty() {
+		return false, ord.CoreEdges, nil
 	}
 
-	// Reverse peel order: when edge e (freed by vertex v at position p)
-	// is processed, the other two endpoints' g values are final, so
-	// setting g[v] = (p − g[u1] − g[u2]) mod 3 makes the lookup rule
-	// (g[v0]+g[v1]+g[v2]) mod 3 == p hold. Unassigned vertices keep 0.
+	// Reverse round-major order: when edge e (freed by vertex v at
+	// position p) is processed, the other two endpoints' g values are
+	// final — within a round every peeled edge has a distinct free
+	// vertex and non-free endpoints free edges only in strictly later
+	// rounds (k = 2; see core.OrderedResult) — so the edges of one round
+	// are assigned concurrently: g[v] = (p − g[u1] − g[u2]) mod 3 makes
+	// the lookup rule (g[v0]+g[v1]+g[v2]) mod 3 == p hold. The used
+	// bitmap is the only shared word array, updated with an atomic OR.
+	// Unassigned vertices keep 0.
 	f.g = make([]uint8, n)
 	f.used = make([]uint64, (n+63)/64)
-	for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
-		e := int(peel.PeelOrder[i])
-		free := peel.FreeVertex[e]
-		vs := g.EdgeVertices(e)
-		sum := 0
-		p := -1
-		for pos, u := range vs {
-			if u == free {
-				p = pos
-			} else {
-				sum += int(f.g[u])
+	for t := ord.Rounds; t >= 1; t-- {
+		seg := ord.RoundSegment(t)
+		if err := pool.ForCtx(ctx, len(seg), 1024, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := int(seg[i])
+				free := ord.FreeVertex[e]
+				vs := g.EdgeVertices(e)
+				sum := 0
+				p := -1
+				for pos, u := range vs {
+					if u == free {
+						p = pos
+					} else {
+						sum += int(f.g[u])
+					}
+				}
+				f.g[free] = uint8(((p-sum)%arity + arity) % arity)
+				atomic.OrUint64(&f.used[free>>6], 1<<(uint(free)&63))
 			}
+		}); err != nil {
+			return false, 0, err
 		}
-		f.g[free] = uint8(((p-sum)%arity + arity) % arity)
-		f.used[free>>6] |= 1 << (uint(free) & 63)
 	}
 
 	// Rank directory: prefix popcounts per word for O(1) rank.
@@ -200,7 +227,7 @@ func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (
 	for i, w := range f.used {
 		f.rank[i+1] = f.rank[i] + uint32(bits.OnesCount64(w))
 	}
-	return true, nil
+	return true, 0, nil
 }
 
 // Keys returns the number of keys the function was built over.

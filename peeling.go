@@ -29,6 +29,14 @@ type PeelResult = core.Result
 // orientation produced by sequential peeling.
 type SeqPeelResult = core.SeqResult
 
+// OrderedPeelResult carries the round-major peel order and the
+// minimum-endpoint edge orientation produced by the ordered parallel
+// peel — the parallel replacement for SeqPeelResult's artifacts,
+// bit-identical at every worker count. Reverse round-major order is a
+// valid elimination order for k = 2 with full parallelism inside a
+// round; see core.OrderedResult.
+type OrderedPeelResult = core.OrderedResult
+
 // PeelOptions configures the parallel peelers (scan policy, round cap).
 type PeelOptions = core.Options
 
@@ -111,6 +119,23 @@ func PeelParallelOpts(g *Hypergraph, k int, opts PeelOptions) *PeelResult {
 	return core.Parallel(g, k, opts)
 }
 
+// PeelOrdered runs the ordered round-synchronous parallel peel: the
+// same rounds and k-core as PeelParallel, plus the peel order and edge
+// orientation that Peel (sequential) produces — but computed in
+// parallel, deterministically at every worker count. It runs on the
+// package-default Runtime; servers should use Runtime.PeelOrdered for
+// cancellation and admission control.
+func PeelOrdered(g *Hypergraph, k int) *OrderedPeelResult {
+	res, err := DefaultRuntime().PeelOrdered(context.Background(), g, k, PeelOptions{})
+	if err != nil {
+		// Only reachable if the default Runtime was shut down; keep the
+		// cannot-fail contract (degraded to inline serial), consistent
+		// with PeelParallel's fallback.
+		return core.ParallelOrder(g, k, core.Options{})
+	}
+	return res
+}
+
 // PeelSubtables runs the Appendix B subround process on a partitioned
 // hypergraph: each round peels the r subtables one after another, each in
 // parallel internally.
@@ -166,6 +191,16 @@ func BuildMPHF(keys []uint64, seed uint64) (*MPHF, error) {
 	}
 	return f, err
 }
+
+// ErrMPHFBuildFailed is the sentinel wrapped by MPHF build errors when
+// every seed attempt left a non-empty 2-core; the error message carries
+// the last attempt's survivor count ("N edges left in 2-core after
+// attempt T") for maxTries/γ tuning. Match with errors.Is.
+var ErrMPHFBuildFailed = mphf.ErrBuildFailed
+
+// ErrStaticMapBuildFailed is the corresponding sentinel for static-map
+// (Bloomier) builds.
+var ErrStaticMapBuildFailed = bloomier.ErrBuildFailed
 
 // StaticMap is a Bloomier-style static key → value map built by peeling;
 // see BuildStaticMap.

@@ -259,6 +259,27 @@ func (rt *Runtime) Peel(ctx context.Context, g *Hypergraph, k int, opts PeelOpti
 	return res, nil
 }
 
+// PeelOrdered runs the ordered round-synchronous peeling process on the
+// shared pool: the same rounds and k-core as Peel, plus the round-major
+// peel order and the minimum-endpoint edge orientation the data-
+// structure constructions consume. The result is bit-identical at every
+// worker count (see core.OrderedResult). Cancellation is checked at
+// every round barrier.
+func (rt *Runtime) PeelOrdered(ctx context.Context, g *Hypergraph, k int, opts PeelOptions) (*OrderedPeelResult, error) {
+	var res *OrderedPeelResult
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		opts.Workers = 0
+		opts.Pool = pool
+		var err error
+		res, err = core.ParallelOrderCtx(ctx, g, k, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // PeelSubtables runs the Appendix B subround peeling process on the
 // shared pool; g must be partitioned. Cancellation is checked at every
 // subround barrier.
@@ -296,9 +317,13 @@ func (rt *Runtime) Decode(ctx context.Context, t *IBLT) (*IBLTParallelResult, er
 }
 
 // BuildMPHF builds a minimal perfect hash function over distinct keys
-// (γ = 1.23, up to 10 seed attempts) with the hashing and index-build
-// phases on the shared pool. Cancellation is checked at the phase
-// barriers of every attempt.
+// (γ = 1.23, up to 10 seed attempts) with every phase on the shared
+// pool: hashing, index build, the ordered parallel peel, and the
+// round-parallel g-value assignment. The resulting function is
+// identical at every Runtime size (the ordered peel is bit-stable
+// across worker counts). Cancellation is checked at every round barrier
+// of every attempt, so a canceled build aborts within one peel round of
+// extra work — not one phase.
 func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*MPHF, error) {
 	var f *MPHF
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {

@@ -1,10 +1,16 @@
 // Command peeltool generates, stores, loads, and peels hypergraphs in
 // the repository's binary format — the glue for experimenting with
-// external or hand-built instances.
+// external or hand-built instances — and builds/serves static-function
+// images in the flat layout (see the build, dump, and query
+// subcommands in static.go).
 //
 //	peeltool -gen -n 100000 -c 0.7 -r 4 -o graph.hgr   # generate & save
 //	peeltool -i graph.hgr -k 2                          # load & peel
 //	peeltool -gen -n 100000 -c 0.7 -r 4 -k 2            # generate & peel
+//
+//	peeltool build -kind map -n 1000000 -o table.sfn    # offline build
+//	peeltool dump -i table.sfn                          # image geometry
+//	peeltool query -i table.sfn -key 42 -mmap           # zero-copy serve
 package main
 
 import (
@@ -18,6 +24,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "build":
+			runBuild(os.Args[2:])
+			return
+		case "dump":
+			runDump(os.Args[2:])
+			return
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		}
+	}
+
 	gen := flag.Bool("gen", false, "generate a random hypergraph")
 	n := flag.Int("n", 100000, "vertices (generation)")
 	c := flag.Float64("c", 0.7, "edge density (generation)")

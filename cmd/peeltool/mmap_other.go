@@ -1,0 +1,14 @@
+//go:build !unix
+
+package main
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, func(), error) {
+	return nil, nil, errors.New("mmap not supported on this platform")
+}

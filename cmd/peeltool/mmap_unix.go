@@ -1,0 +1,21 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. Page-aligned mappings are
+// always 8-byte aligned, so the zero-copy loader accepts them directly.
+// The returned closer munmaps; the image must not be used after it.
+func mmapFile(f *os.File, size int) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,209 @@
+// Static-function subcommands: offline build of the flat image, and the
+// online dump/query side that loads it zero-copy (mmap when the platform
+// supports it, os.ReadFile otherwise).
+//
+//	peeltool build -kind map -n 1000000 -seed 7 -o table.sfn
+//	peeltool dump  -i table.sfn
+//	peeltool query -i table.sfn -key 42 -mmap
+//	peeltool query -i table.sfn -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/layout"
+	"repro/internal/rng"
+)
+
+// syntheticKey derives the i-th build key from keyseed. Keys (and the
+// values stored for them, see syntheticValue) are pure functions of
+// (keyseed, i), so `query -verify` can regenerate the exact build input
+// from nothing but the image geometry and the keyseed.
+func syntheticKey(keyseed uint64, i int) uint64 {
+	return rng.Mix64(keyseed + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// syntheticValue is the value stored for a key in `build -kind map`:
+// derived from the key alone, so a verifier needs no side file.
+func syntheticValue(key uint64) uint64 { return rng.Mix64(key ^ 0xa0761d6478bd642f) }
+
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("peeltool build", flag.ExitOnError)
+	kind := fs.String("kind", "map", "what to build: map (static key→value map) or mphf")
+	n := fs.Int("n", 1000000, "number of keys")
+	seed := fs.Uint64("seed", 7, "build seed (attempt ladder)")
+	keyseed := fs.Uint64("keyseed", 1, "seed for the synthetic key set")
+	out := fs.String("o", "", "output image file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("build: -o is required"))
+	}
+
+	keys := make([]uint64, *n)
+	for i := range keys {
+		keys[i] = syntheticKey(*keyseed, i)
+	}
+
+	var img []byte
+	switch *kind {
+	case "map":
+		values := make([]uint64, *n)
+		for i, k := range keys {
+			values[i] = syntheticValue(k)
+		}
+		sm, err := repro.BuildStaticMap(keys, values, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		img = sm.Bytes()
+	case "mphf":
+		f, err := repro.BuildMPHF(keys, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		img = f.Bytes()
+	default:
+		fatal(fmt.Errorf("build: unknown -kind %q (want map or mphf)", *kind))
+	}
+
+	if err := os.WriteFile(*out, img, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: kind=%s keys=%d bytes=%d\n", *out, *kind, *n, len(img))
+}
+
+// loadImage maps or reads the image file and validates it. The returned
+// closer unmaps/releases the bytes; call it only after the last lookup.
+func loadImage(path string, useMmap bool) (*layout.Image, func(), error) {
+	if useMmap {
+		if !mmapSupported {
+			return nil, nil, fmt.Errorf("-mmap is not supported on this platform")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return nil, nil, err
+		}
+		data, closer, err := mmapFile(f, int(st.Size()))
+		if err != nil {
+			return nil, nil, err
+		}
+		im, err := layout.Open(data)
+		if err != nil {
+			closer()
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return im, closer, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := layout.Open(layout.Aligned(data))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return im, func() {}, nil
+}
+
+func kindName(k layout.Kind) string {
+	switch k {
+	case layout.KindMPHF:
+		return "mphf"
+	case layout.KindBloomier:
+		return "map"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+func runDump(args []string) {
+	fs := flag.NewFlagSet("peeltool dump", flag.ExitOnError)
+	in := fs.String("i", "", "input image file (required)")
+	useMmap := fs.Bool("mmap", false, "map the file instead of reading it")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("dump: -i is required"))
+	}
+	im, closer, err := loadImage(*in, *useMmap)
+	if err != nil {
+		fatal(err)
+	}
+	defer closer()
+	fmt.Printf("image: kind=%s version=%d keys=%d subSize=%d vertices=%d bytes=%d seed=%#x\n",
+		kindName(im.Kind), layout.Version, im.Keys, im.SubSize, im.Vertices(), im.Len(), im.Seed)
+	fmt.Printf("hash seeds: %#x %#x %#x\n", im.HSeed[0], im.HSeed[1], im.HSeed[2])
+	fmt.Printf("overhead: %.4f vertices/key (γ)\n", float64(im.Vertices())/float64(im.Keys))
+}
+
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("peeltool query", flag.ExitOnError)
+	in := fs.String("i", "", "input image file (required)")
+	useMmap := fs.Bool("mmap", false, "map the file instead of reading it")
+	key := fs.Uint64("key", 0, "single key to look up")
+	verify := fs.Bool("verify", false, "regenerate the synthetic key set and check every answer")
+	keyseed := fs.Uint64("keyseed", 1, "key-set seed used at build time (with -verify)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("query: -i is required"))
+	}
+	im, closer, err := loadImage(*in, *useMmap)
+	if err != nil {
+		fatal(err)
+	}
+	defer closer()
+
+	var fn repro.StaticFunc
+	switch im.Kind {
+	case layout.KindMPHF:
+		f, err := repro.OpenMPHF(im.Bytes())
+		if err != nil {
+			fatal(err)
+		}
+		fn = f
+	case layout.KindBloomier:
+		sm, err := repro.OpenStaticMap(im.Bytes())
+		if err != nil {
+			fatal(err)
+		}
+		fn = sm
+	default:
+		fatal(fmt.Errorf("query: unknown image kind %d", im.Kind))
+	}
+
+	if !*verify {
+		fmt.Printf("%d -> %d\n", *key, fn.LookupValue(*key))
+		return
+	}
+
+	bad := 0
+	switch im.Kind {
+	case layout.KindBloomier:
+		for i := 0; i < im.Keys; i++ {
+			k := syntheticKey(*keyseed, i)
+			if fn.LookupValue(k) != syntheticValue(k) {
+				bad++
+			}
+		}
+	case layout.KindMPHF:
+		seen := make([]bool, im.Keys)
+		for i := 0; i < im.Keys; i++ {
+			v := fn.LookupValue(syntheticKey(*keyseed, i))
+			if v >= uint64(im.Keys) || seen[v] {
+				bad++
+				continue
+			}
+			seen[v] = true
+		}
+	}
+	if bad != 0 {
+		fatal(fmt.Errorf("verify: %d of %d keys answered wrong (wrong -keyseed, or corrupt image?)", bad, im.Keys))
+	}
+	fmt.Printf("verify: all %d keys answer correctly\n", im.Keys)
+}

@@ -80,6 +80,36 @@
 // report the last attempt's 2-core survivor count through
 // ErrMPHFBuildFailed / ErrStaticMapBuildFailed.
 //
+// # Offline build, online serve
+//
+// The built static functions separate build time from serve time. Every
+// MPHF and StaticMap is backed by a single versioned flat image
+// (internal/layout): a 64-byte checksummed header (magic, kind, seed,
+// hash seeds, geometry) followed by the 8-aligned little-endian value
+// arrays. Bytes returns the image; OpenMPHF/OpenStaticMap validate one
+// strictly — magic, version, kind, geometry bounded against the payload
+// before any size arithmetic, exact length, alignment, checksum — and
+// return a zero-copy view whose lookup arrays alias the input bytes, so
+// an os.ReadFile'd or mmap'd image serves lookups with no decode step
+// and no allocation beyond the handle. Built and loaded functions run
+// the same lookup code over the same layout, so a loaded image answers
+// byte-for-byte like the build that produced it; builds are
+// byte-identical at every worker count, so images are reproducible
+// artifacts. Hostile images are rejected with an error, never a panic
+// (FuzzLayoutOpen). cmd/peeltool build/dump/query is the command-line
+// face of this path.
+//
+// Serving under rebuild is handled by StaticTable: a handle holding the
+// current generation of a static function, swapped atomically by Swap
+// (or Runtime.RebuildStaticMap / Runtime.RebuildMPHF, which run the
+// rebuild as an ordinary pool job concurrent with serving). Lookup and
+// LookupBatch are lock-free — an atomic generation resolve plus a
+// pin/unpin on sharded padded counters — and swaps reclaim a retired
+// generation (running its release hook, e.g. munmap) only after every
+// in-flight lookup pinning it has drained, so readers never observe a
+// torn or unmapped image and never block: epoch-based reclamation with
+// a generation counter, exactly the offline-build/fleet-serve pattern.
+//
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream
 // keyed by chunk index, and the CSR incidence index is built with a

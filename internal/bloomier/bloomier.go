@@ -11,6 +11,12 @@
 // 1/1.23 ≈ 0.813 < c*(2,3) ≈ 0.818 — and the same construction
 // underlies Biff codes and XOR-based retrieval structures.
 //
+// Build-time and serve-time are split by the versioned flat layout
+// (internal/layout): the builder back-substitutes straight into a
+// contiguous sealed image, and Filter is a thin read-only view over
+// such an image — the same lookup code path whether the image came from
+// a fresh build, Open of marshaled bytes, or an mmap'd file.
+//
 // Lookups on keys outside the build set return arbitrary values (add a
 // fingerprint to detect them if needed).
 package bloomier
@@ -22,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/layout"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -30,14 +37,14 @@ import (
 // peeling threshold like the MPHF construction.
 const DefaultGamma = 1.23
 
-const arity = 3
+const arity = layout.Arity
 
-// Filter is an immutable key → uint64 map built by Build.
+// Filter is an immutable key → uint64 map built by Build: a read-only
+// view over a flat layout image. Bytes serializes it with zero copies,
+// and Open / FromImage reconstruct an identical filter from those
+// bytes.
 type Filter struct {
-	seed    uint64
-	hseed   [arity]uint64
-	subSize int
-	slots   []uint64
+	im *layout.Image
 }
 
 // ErrBuildFailed is returned when peeling leaves a non-empty 2-core on
@@ -76,12 +83,9 @@ func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, w
 // the back-substitution — run on an explicit worker pool. The peel is
 // the ordered round-synchronous process (core.ParallelOrder), whose
 // round-major order and minimum-endpoint orientation are bit-stable, so
-// the resulting filter is identical at every pool size; back-
-// substitution processes the peel rounds in reverse with full
-// parallelism inside each round. See BuildParallel for the subround
-// (Appendix B) pipeline, which differs only in the peel process it
-// uses. All per-build state is owned by the call, so many builds may
-// run concurrently on one shared pool.
+// the resulting filter is byte-identical at every pool size. All
+// per-build state is owned by the call, so many builds may run
+// concurrently on one shared pool.
 func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	return BuildCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
 }
@@ -110,66 +114,66 @@ func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed ui
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
-		for j := 0; j < arity; j++ {
-			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
-		}
-		ok, left, err := f.assign(ctx, keys, values, pool)
+		attemptSeed, hseed := attemptSeeds(seed, try)
+		im, left, err := buildAttempt(ctx, keys, values, attemptSeed, hseed, m, subSize, pool)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return f, nil
+		if im != nil {
+			return &Filter{im: im}, nil
 		}
 		survivors = left
 	}
 	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
 }
 
-func (f *Filter) vertices(x uint64) [arity]uint32 {
-	var vs [arity]uint32
+// attemptSeeds derives attempt try's seed and the three vertex-hash
+// seeds stored in the image header.
+func attemptSeeds(seed uint64, try int) (attemptSeed uint64, hseed [arity]uint64) {
+	attemptSeed = rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15)
 	for j := 0; j < arity; j++ {
-		h := rng.Mix64(x ^ f.hseed[j])
-		vs[j] = uint32(j*f.subSize) + uint32((h>>32)*uint64(f.subSize)>>32)
+		hseed[j] = rng.Mix64(attemptSeed ^ uint64(j+1)*0x94d049bb133111eb)
 	}
-	return vs
+	return
 }
 
 // hashEdges maps every key to its three slots in parallel (each key's
 // vertices depend only on the key and the attempt seeds, so the result
 // is independent of the pool size).
-func (f *Filter) hashEdges(keys []uint64, pool *parallel.Pool) []uint32 {
+func hashEdges(keys []uint64, hseed [arity]uint64, subSize int, pool *parallel.Pool) []uint32 {
 	edges := make([]uint32, len(keys)*arity)
 	pool.For(len(keys), 2048, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			vs := f.vertices(keys[i])
+			vs := layout.VertexTriple(hseed, subSize, keys[i])
 			copy(edges[i*arity:], vs[:])
 		}
 	})
 	return edges
 }
 
-// assign peels the key hypergraph and back-substitutes slot values so
-// that slots[v0] ^ slots[v1] ^ slots[v2] = value for every key; it
-// reports whether peeling reached the empty 2-core and, when it did
-// not, how many edges survived (surfaced through ErrBuildFailed). The
-// peel is the ordered round-synchronous process and back-substitution
-// walks its rounds in reverse, the edges of one round in parallel —
-// sound for k = 2: within a round every peeled edge has a distinct free
-// vertex and non-free endpoints finalize strictly later (see
-// core.OrderedResult). ctx is checked at every round barrier.
-func (f *Filter) assign(ctx context.Context, keys, values []uint64, pool *parallel.Pool) (ok bool, survivors int, err error) {
-	n := f.subSize * arity
-	edges := f.hashEdges(keys, pool)
-	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
+// buildAttempt peels the key hypergraph for one seed attempt and, on an
+// empty 2-core, back-substitutes the slot values straight into a
+// freshly allocated flat image — slots[v0] ^ slots[v1] ^ slots[v2] =
+// value for every key — and seals it; a non-empty 2-core returns (nil,
+// survivors, nil) so the retry loop can surface the count through
+// ErrBuildFailed. The peel is the ordered round-synchronous process and
+// back-substitution walks its rounds in reverse, the edges of one round
+// in parallel — sound for k = 2: within a round every peeled edge has a
+// distinct free vertex and non-free endpoints finalize strictly later
+// (see core.OrderedResult). ctx is checked at every round barrier.
+func buildAttempt(ctx context.Context, keys, values []uint64, attemptSeed uint64, hseed [arity]uint64, m, subSize int, pool *parallel.Pool) (*layout.Image, int, error) {
+	n := subSize * arity
+	edges := hashEdges(keys, hseed, subSize, pool)
+	g := hypergraph.FromEdgesWithPool(n, arity, edges, subSize, pool)
 	ord, err := core.ParallelOrderCtx(ctx, g, 2, core.Options{Pool: pool})
 	if err != nil {
-		return false, 0, err
+		return nil, 0, err
 	}
 	if !ord.Empty() {
-		return false, ord.CoreEdges, nil
+		return nil, ord.CoreEdges, nil
 	}
-	f.slots = make([]uint64, n)
+	im := layout.NewBloomier(attemptSeed, hseed, m, subSize)
+	slots := im.Slots
 	// Reverse round-major order: the free vertex's slot is still
 	// untouched when its edge is processed, and the other two slots are
 	// final.
@@ -182,119 +186,105 @@ func (f *Filter) assign(ctx context.Context, keys, values []uint64, pool *parall
 				acc := values[e]
 				for _, u := range g.EdgeVertices(int(e)) {
 					if u != free {
-						acc ^= f.slots[u]
+						acc ^= slots[u]
 					}
 				}
-				f.slots[free] = acc
+				slots[free] = acc
 			}
 		}); err != nil {
-			return false, 0, err
+			return nil, 0, err
 		}
 	}
-	return true, 0, nil
+	im.Marshal() // seal: checksum now covers the final slot array
+	return im, 0, nil
 }
+
+// FromImage wraps an already-open flat image as a Filter view. The
+// image must have been produced by this package's builder (or validated
+// by layout.Open); its bytes must stay immutable for the life of the
+// filter.
+func FromImage(im *layout.Image) (*Filter, error) {
+	if im == nil || im.Kind != layout.KindBloomier {
+		return nil, fmt.Errorf("bloomier: image kind is not %v", layout.KindBloomier)
+	}
+	return &Filter{im: im}, nil
+}
+
+// Open validates data as a flat Bloomier image and returns a zero-copy
+// read-only view over it: no array is decoded or copied, so data must
+// stay immutable (and mapped) for the life of the filter. Corrupt or
+// hostile images return layout.ErrBadImage; unaligned slices return
+// layout.ErrUnaligned (repair with layout.Aligned).
+func Open(data []byte) (*Filter, error) {
+	im, err := layout.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromImage(im)
+}
+
+// Image returns the filter's flat image.
+func (f *Filter) Image() *layout.Image { return f.im }
+
+// Bytes returns the filter's sealed flat image without copying — the
+// exact bytes Open accepts. The slice aliases the filter's slot array;
+// treat it as read-only.
+func (f *Filter) Bytes() []byte { return f.im.Bytes() }
+
+// Seed returns the successful build attempt's seed.
+func (f *Filter) Seed() uint64 { return f.im.Seed }
+
+// Keys returns the number of keys the filter was built over.
+func (f *Filter) Keys() int { return f.im.Keys }
 
 // Lookup returns the value stored for key x (arbitrary for foreign keys).
 func (f *Filter) Lookup(x uint64) uint64 {
-	vs := f.vertices(x)
-	return f.slots[vs[0]] ^ f.slots[vs[1]] ^ f.slots[vs[2]]
+	im := f.im
+	vs := layout.VertexTriple(im.HSeed, im.SubSize, x)
+	return im.Slots[vs[0]] ^ im.Slots[vs[1]] ^ im.Slots[vs[2]]
 }
 
-// BuildParallel is Build with both phases parallelized: the hypergraph
-// is peeled with the subround process (core.SubtablesOriented), and slot
-// assignment walks the released layers in reverse with full parallelism
-// inside each layer — sound because a layer-L edge's non-free endpoints
-// are only ever freed in strictly later layers (see core.Orientation).
-//
-// Build keys look up identical values to a serial Build with the same
-// seed (both solve the same constraint system exactly). Foreign keys may
-// read different garbage: the system is underdetermined and the two
-// peel orders choose different free-variable completions.
-func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
-	return BuildParallelWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
-}
-
-// BuildParallelWorkers is BuildParallel on a private pool of the given
-// size, created once for all retry attempts (hoisted out of the retry
-// loop) and closed before returning.
-func BuildParallelWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, workers int) (*Filter, error) {
-	pool := parallel.NewPool(workers)
-	defer pool.Close()
-	return BuildParallelWithPool(keys, values, gamma, seed, maxTries, pool)
-}
-
-// BuildParallelWithPool is BuildParallel with every phase — hashing, CSR
-// build, subround peeling, and layered back-substitution — on an
-// explicit worker pool (each retry passes the same pool to the subround
-// peeler via core.Options.Pool, so no per-attempt pool is ever spun up).
-func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
-	return BuildParallelCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
-}
-
-// BuildParallelCtx is BuildParallelWithPool with cooperative
-// cancellation: the subround peel checks ctx at its subround barriers
-// (core.SubtablesOrientedCtx) and back-substitution checks it at every
-// layer barrier, so even a single huge build attempt is abandoned
-// promptly. On cancellation it returns (nil, ctx.Err()).
-func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
-	if len(keys) != len(values) {
-		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))
-	}
-	if gamma < 1.1 {
-		return nil, fmt.Errorf("bloomier: gamma %.3f too small (< 1.1 cannot peel)", gamma)
-	}
-	if maxTries <= 0 {
-		maxTries = 10
-	}
-	m := len(keys)
-	subSize := int(gamma*float64(m))/arity + 1
-	if subSize < 2 {
-		subSize = 2
-	}
-	survivors := 0
-	for try := 0; try < maxTries; try++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
-		for j := 0; j < arity; j++ {
-			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
-		}
-		n := f.subSize * arity
-		edges := f.hashEdges(keys, pool)
-		g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
-		res, orient, err := core.SubtablesOrientedCtx(ctx, g, 2, core.Options{Pool: pool})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Empty() {
-			survivors = res.CoreEdges
-			continue
-		}
-		f.slots = make([]uint64, n)
-		for li := len(orient.Layers) - 1; li >= 0; li-- {
-			layer := orient.Layers[li]
-			if err := pool.ForCtx(ctx, len(layer), 1024, func(_, lo, hi int) {
-				for idx := lo; idx < hi; idx++ {
-					e := layer[idx]
-					free := orient.FreeVertex[e]
-					acc := values[e]
-					for _, u := range g.EdgeVertices(int(e)) {
-						if u != free {
-							acc ^= f.slots[u]
-						}
-					}
-					f.slots[free] = acc
-				}
-			}); err != nil {
-				return nil, err
-			}
-		}
-		return f, nil
-	}
-	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
-}
+// LookupValue adapts Lookup to the static-function serving contract
+// (repro.StaticFunc); it is identical to Lookup.
+func (f *Filter) LookupValue(x uint64) uint64 { return f.Lookup(x) }
 
 // Slots returns the size of the slot array (≈ γ × keys); total storage is
 // 8·Slots() bytes.
-func (f *Filter) Slots() int { return len(f.slots) }
+func (f *Filter) Slots() int { return len(f.im.Slots) }
+
+// BuildParallel builds the same filter as Build.
+//
+// Deprecated: the two construction pipelines — Build's ordered-round
+// peel and BuildParallel's subround (Appendix B) peel — have been
+// folded into the single ordered-path implementation: it is fully
+// parallel, bit-stable at every worker count, and produces one
+// canonical image per (keys, values, seed). BuildParallel is now an
+// alias of Build kept for source compatibility. (Historically the two
+// paths could return different foreign-key garbage; now every build of
+// the same inputs is byte-identical.)
+func BuildParallel(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
+	return Build(keys, values, gamma, seed, maxTries)
+}
+
+// BuildParallelWorkers is BuildParallel on a private pool of the given
+// size, created once for all retry attempts and closed before
+// returning.
+//
+// Deprecated: alias of BuildWorkers; see BuildParallel.
+func BuildParallelWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, workers int) (*Filter, error) {
+	return BuildWorkers(keys, values, gamma, seed, maxTries, workers)
+}
+
+// BuildParallelWithPool is BuildParallel on an explicit worker pool.
+//
+// Deprecated: alias of BuildWithPool; see BuildParallel.
+func BuildParallelWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
+	return BuildWithPool(keys, values, gamma, seed, maxTries, pool)
+}
+
+// BuildParallelCtx is BuildParallel with cooperative cancellation.
+//
+// Deprecated: alias of BuildCtx; see BuildParallel.
+func BuildParallelCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
+	return BuildCtx(ctx, keys, values, gamma, seed, maxTries, pool)
+}

@@ -1,16 +1,16 @@
 package bloomier
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/layout"
 	"repro/internal/parallel"
-	"repro/internal/rng"
 )
 
 // buildSerialPeel is the pre-ordered-peel construction — sequential
@@ -26,34 +26,32 @@ func buildSerialPeel(keys, values []uint64, gamma float64, seed uint64, maxTries
 		subSize = 2
 	}
 	for try := 0; try < maxTries; try++ {
-		f := &Filter{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), subSize: subSize}
-		for j := 0; j < arity; j++ {
-			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0x94d049bb133111eb)
-		}
-		n := f.subSize * arity
+		attemptSeed, hseed := attemptSeeds(seed, try)
+		n := subSize * arity
 		edges := make([]uint32, len(keys)*arity)
 		for i, k := range keys {
-			vs := f.vertices(k)
+			vs := layout.VertexTriple(hseed, subSize, k)
 			copy(edges[i*arity:], vs[:])
 		}
-		g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+		g := hypergraph.FromEdges(n, arity, edges, subSize)
 		peel := core.Sequential(g, 2)
 		if !peel.Empty() {
 			continue
 		}
-		f.slots = make([]uint64, n)
+		im := layout.NewBloomier(attemptSeed, hseed, m, subSize)
 		for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
 			e := int(peel.PeelOrder[i])
 			free := peel.FreeVertex[e]
 			acc := values[e]
 			for _, u := range g.EdgeVertices(e) {
 				if u != free {
-					acc ^= f.slots[u]
+					acc ^= im.Slots[u]
 				}
 			}
-			f.slots[free] = acc
+			im.Slots[free] = acc
 		}
-		return f, nil
+		im.Marshal()
+		return &Filter{im: im}, nil
 	}
 	return nil, ErrBuildFailed
 }
@@ -79,8 +77,8 @@ func TestBuildBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 		if ref == nil {
 			ref = f
-		} else if !reflect.DeepEqual(f.slots, ref.slots) || f.seed != ref.seed {
-			t.Fatalf("workers=%d: build not bit-identical to the 1-worker build", workers)
+		} else if !bytes.Equal(f.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d: image not byte-identical to the 1-worker build", workers)
 		}
 		for i, k := range keys {
 			if f.Lookup(k) != values[i] || f.Lookup(k) != oracle.Lookup(k) {

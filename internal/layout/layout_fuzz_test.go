@@ -1,0 +1,78 @@
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzLayoutOpen throws arbitrary payloads at Open, mirroring
+// iblt.FuzzUnmarshalBinary: the parser must either reject with
+// ErrBadImage/ErrUnaligned or produce a view whose geometry matches the
+// payload exactly — never panic, never allocate beyond the payload's
+// implied size (the views are zero-copy, so an accepted image allocates
+// only the Image struct).
+func FuzzLayoutOpen(f *testing.F) {
+	bl := NewBloomier(3, [Arity]uint64{4, 5, 6}, 10, 10)
+	for i := range bl.Slots {
+		bl.Slots[i] = uint64(i)
+	}
+	f.Add(append([]byte(nil), bl.Marshal()...))
+
+	mp := NewMPHF(8, [Arity]uint64{7, 8, 9}, 12, 8)
+	for i := range mp.G {
+		mp.G[i] = uint8(i % 3)
+	}
+	f.Add(append([]byte(nil), mp.Marshal()...))
+
+	f.Add([]byte{})
+	f.Add([]byte("SFN1"))
+	f.Add(append([]byte(nil), bl.Bytes()[:HeaderSize]...))
+
+	huge := append([]byte(nil), bl.Bytes()...)
+	binary.LittleEndian.PutUint64(huge[56:], 1<<62)
+	f.Add(huge)
+
+	wrongKind := append([]byte(nil), mp.Bytes()...)
+	binary.LittleEndian.PutUint16(wrongKind[6:], uint16(KindBloomier))
+	f.Add(wrongKind)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Open(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadImage) && !errors.Is(err, ErrUnaligned) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		// Accepted: the geometry must account for every payload byte.
+		if got, want := size(im.Kind, im.SubSize), len(data); got != want {
+			t.Fatalf("accepted %d-byte payload but geometry implies %d", want, got)
+		}
+		if im.SubSize < 2 || im.Keys < 0 || im.Keys > im.Vertices() {
+			t.Fatalf("accepted out-of-contract geometry keys=%d subSize=%d", im.Keys, im.SubSize)
+		}
+		switch im.Kind {
+		case KindMPHF:
+			if len(im.G) != im.Vertices() || len(im.Used) != (im.Vertices()+63)/64 ||
+				len(im.Rank) != len(im.Used)+1 || im.Slots != nil {
+				t.Fatal("MPHF views inconsistent with geometry")
+			}
+		case KindBloomier:
+			if len(im.Slots) != im.Vertices() || im.G != nil {
+				t.Fatal("Bloomier views inconsistent with geometry")
+			}
+		default:
+			t.Fatalf("accepted kind %v", im.Kind)
+		}
+		// A valid image must round-trip byte-identically through
+		// Marshal (re-sealing unchanged bytes is the identity).
+		if got := im.Marshal(); len(got) != len(data) {
+			t.Fatalf("round-trip size %d != %d", len(got), len(data))
+		}
+		// And re-open cleanly.
+		if _, err := Open(im.Bytes()); err != nil {
+			t.Fatalf("re-open of accepted image failed: %v", err)
+		}
+	})
+}

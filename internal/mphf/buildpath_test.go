@@ -1,24 +1,25 @@
 package mphf
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/bits"
-	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/layout"
 	"repro/internal/parallel"
-	"repro/internal/rng"
 )
 
 // buildSerialPeel is the pre-ordered-peel construction — sequential
 // queue peel plus serial reverse-order assignment — kept in the tests
 // as the baseline BenchmarkBuildMPHF measures against and as an
 // independent validity oracle. It must never be used from the build
-// path.
+// path. Like the real builder it writes its arrays straight into a
+// flat layout image.
 func buildSerialPeel(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, error) {
 	if err := checkDistinct(keys); err != nil { // Build pays this too
 		return nil, err
@@ -29,23 +30,19 @@ func buildSerialPeel(keys []uint64, gamma float64, seed uint64, maxTries int) (*
 		subSize = 2
 	}
 	for try := 0; try < maxTries; try++ {
-		f := &MPHF{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), m: m, subSize: subSize}
-		for j := 0; j < arity; j++ {
-			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
-		}
-		n := f.subSize * arity
+		attemptSeed, hseed := attemptSeeds(seed, try)
+		n := subSize * arity
 		edges := make([]uint32, len(keys)*arity)
 		for i, k := range keys {
-			vs := f.vertices(k)
+			vs := layout.VertexTriple(hseed, subSize, k)
 			copy(edges[i*arity:], vs[:])
 		}
-		g := hypergraph.FromEdges(n, arity, edges, f.subSize)
+		g := hypergraph.FromEdges(n, arity, edges, subSize)
 		peel := core.Sequential(g, 2)
 		if !peel.Empty() {
 			continue
 		}
-		f.g = make([]uint8, n)
-		f.used = make([]uint64, (n+63)/64)
+		im := layout.NewMPHF(attemptSeed, hseed, m, subSize)
 		for i := len(peel.PeelOrder) - 1; i >= 0; i-- {
 			e := int(peel.PeelOrder[i])
 			free := peel.FreeVertex[e]
@@ -55,17 +52,17 @@ func buildSerialPeel(keys []uint64, gamma float64, seed uint64, maxTries int) (*
 				if u == free {
 					p = pos
 				} else {
-					sum += int(f.g[u])
+					sum += int(im.G[u])
 				}
 			}
-			f.g[free] = uint8(((p-sum)%arity + arity) % arity)
-			f.used[free>>6] |= 1 << (uint(free) & 63)
+			im.G[free] = uint8(((p-sum)%arity + arity) % arity)
+			im.Used[free>>6] |= 1 << (uint(free) & 63)
 		}
-		f.rank = make([]uint32, len(f.used)+1)
-		for i, w := range f.used {
-			f.rank[i+1] = f.rank[i] + uint32(bits.OnesCount64(w))
+		for i, w := range im.Used {
+			im.Rank[i+1] = im.Rank[i] + uint32(bits.OnesCount64(w))
 		}
-		return f, nil
+		im.Marshal()
+		return &MPHF{im: im}, nil
 	}
 	return nil, ErrBuildFailed
 }
@@ -74,7 +71,8 @@ func buildSerialPeel(keys []uint64, gamma float64, seed uint64, maxTries int) (*
 // contract of the ordered-peel build: the same seed produces the same
 // function — byte for byte, not just lookup-equal — on pools of 1, 3,
 // and 8 workers, so "the serial build" is just the 1-worker run of the
-// same code.
+// same code. With the flat layout the comparison is literal: the
+// sealed images must be equal as byte strings.
 func TestBuildBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	keys := randomKeys(30000, 17)
 	var ref *MPHF
@@ -89,9 +87,8 @@ func TestBuildBitIdenticalAcrossWorkerCounts(t *testing.T) {
 			ref = f
 			continue
 		}
-		if !reflect.DeepEqual(f.g, ref.g) || !reflect.DeepEqual(f.used, ref.used) ||
-			!reflect.DeepEqual(f.rank, ref.rank) || f.seed != ref.seed {
-			t.Fatalf("workers=%d: build not bit-identical to the 1-worker build", workers)
+		if !bytes.Equal(f.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d: image not byte-identical to the 1-worker build", workers)
 		}
 	}
 }
@@ -112,7 +109,7 @@ func TestBuildAgreesWithSerialPeelOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	if f.Keys() != oracle.Keys() || f.Vertices() != oracle.Vertices() || f.seed != oracle.seed {
+	if f.Keys() != oracle.Keys() || f.Vertices() != oracle.Vertices() || f.Seed() != oracle.Seed() {
 		t.Fatal("geometry diverged from the serial construction")
 	}
 	seen := make([]bool, len(keys))

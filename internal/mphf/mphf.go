@@ -6,6 +6,13 @@
 // distinct vertex. Construction succeeds on the first try w.h.p. because
 // the edge density 1/γ = 1/1.23 ≈ 0.813 sits below the paper's threshold
 // c*(2,3) ≈ 0.818.
+//
+// Build-time and serve-time are split by the versioned flat layout
+// (internal/layout): the builder writes its g values, used bitmap, and
+// rank directory directly into a contiguous sealed image, and MPHF is a
+// thin read-only view over such an image — the same lookup code path
+// whether the image came from a fresh build, Open of marshaled bytes,
+// or an mmap'd file.
 package mphf
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/layout"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -28,20 +36,16 @@ const DefaultGamma = 1.23
 
 // arity is fixed: BDZ uses 3 hashes (γ would need to exceed 1/0.772 ≈ 1.295
 // table growth for r = 4 with no lookup benefit).
-const arity = 3
+const arity = layout.Arity
 
 // MPHF is an immutable minimal perfect hash function over the key set it
 // was built from: Lookup maps each build key to a distinct value in
 // [0, Keys()); unknown keys map to arbitrary values (add an external
-// fingerprint if membership matters).
+// fingerprint if membership matters). It is a read-only view over a
+// flat layout image — Bytes serializes it with zero copies, and Open /
+// FromImage reconstruct an identical function from those bytes.
 type MPHF struct {
-	seed    uint64
-	hseed   [arity]uint64
-	m       int      // number of keys
-	subSize int      // vertices per part (3 parts)
-	g       []uint8  // 2-bit values stored one per byte; 0..2
-	used    []uint64 // bitmap of selected vertices
-	rank    []uint32 // rank of each 64-bit used word (prefix popcounts)
+	im *layout.Image
 }
 
 // ErrBuildFailed is returned when every seed attempt left a non-empty
@@ -121,20 +125,27 @@ func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, ma
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		f := &MPHF{seed: rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15), m: m, subSize: subSize}
-		for j := 0; j < arity; j++ {
-			f.hseed[j] = rng.Mix64(f.seed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
-		}
-		ok, left, err := f.assign(ctx, keys, pool)
+		attemptSeed, hseed := attemptSeeds(seed, try)
+		im, left, err := buildAttempt(ctx, keys, attemptSeed, hseed, m, subSize, pool)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			return f, nil
+		if im != nil {
+			return &MPHF{im: im}, nil
 		}
 		survivors = left
 	}
 	return nil, fmt.Errorf("%w: %d edges left in 2-core after attempt %d", ErrBuildFailed, survivors, maxTries)
+}
+
+// attemptSeeds derives attempt try's seed and the three vertex-hash
+// seeds stored in the image header.
+func attemptSeeds(seed uint64, try int) (attemptSeed uint64, hseed [arity]uint64) {
+	attemptSeed = rng.Mix64(seed + uint64(try)*0x9e3779b97f4a7c15)
+	for j := 0; j < arity; j++ {
+		hseed[j] = rng.Mix64(attemptSeed ^ uint64(j+1)*0xbf58476d1ce4e5b9)
+	}
+	return
 }
 
 func checkDistinct(keys []uint64) error {
@@ -148,44 +159,39 @@ func checkDistinct(keys []uint64) error {
 	return nil
 }
 
-// vertices returns the three vertices of key x, one per part.
-func (f *MPHF) vertices(x uint64) [arity]uint32 {
-	var vs [arity]uint32
-	for j := 0; j < arity; j++ {
-		h := rng.Mix64(x ^ f.hseed[j])
-		vs[j] = uint32(j*f.subSize) + uint32((h>>32)*uint64(f.subSize)>>32)
-	}
-	return vs
-}
-
-// assign peels the key hypergraph and computes g values; it reports
-// whether peeling reached the empty 2-core and, when it did not, how
-// many edges survived (the retry loop surfaces the last attempt's count
-// in ErrBuildFailed). Every phase runs on the pool: edge hashing and
-// the CSR build fan out chunk-wise (each key's vertices depend only on
-// the key and the attempt seeds, so parallel hashing is deterministic),
-// the peel is the ordered round-synchronous process, and the g-value
-// assignment walks the peel rounds in reverse with full parallelism
-// inside each round. ctx is checked at every round barrier.
-func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (ok bool, survivors int, err error) {
-	n := f.subSize * arity
+// buildAttempt peels the key hypergraph for one seed attempt and, on an
+// empty 2-core, writes the g values, used bitmap, and rank directory
+// into a freshly allocated flat image and seals it; a non-empty 2-core
+// returns (nil, survivors, nil) so the retry loop can surface the count
+// through ErrBuildFailed. Every phase runs on the pool: edge hashing
+// and the CSR build fan out chunk-wise (each key's vertices depend only
+// on the key and the attempt seeds, so parallel hashing is
+// deterministic), the peel is the ordered round-synchronous process,
+// and the g-value assignment walks the peel rounds in reverse with full
+// parallelism inside each round. ctx is checked at every round barrier.
+func buildAttempt(ctx context.Context, keys []uint64, attemptSeed uint64, hseed [arity]uint64, m, subSize int, pool *parallel.Pool) (*layout.Image, int, error) {
+	n := subSize * arity
 	edges := make([]uint32, len(keys)*arity)
 	if err := pool.ForCtx(ctx, len(keys), 2048, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			vs := f.vertices(keys[i])
+			vs := layout.VertexTriple(hseed, subSize, keys[i])
 			copy(edges[i*arity:], vs[:])
 		}
 	}); err != nil {
-		return false, 0, err
+		return nil, 0, err
 	}
-	g := hypergraph.FromEdgesWithPool(n, arity, edges, f.subSize, pool)
+	g := hypergraph.FromEdgesWithPool(n, arity, edges, subSize, pool)
 	ord, err := core.ParallelOrderCtx(ctx, g, 2, core.Options{Pool: pool})
 	if err != nil {
-		return false, 0, err
+		return nil, 0, err
 	}
 	if !ord.Empty() {
-		return false, ord.CoreEdges, nil
+		return nil, ord.CoreEdges, nil
 	}
+
+	// The serve-time arrays are written straight into the flat image —
+	// there is no separate in-memory representation to convert from.
+	im := layout.NewMPHF(attemptSeed, hseed, m, subSize)
 
 	// Reverse round-major order: when edge e (freed by vertex v at
 	// position p) is processed, the other two endpoints' g values are
@@ -196,8 +202,7 @@ func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (
 	// the lookup rule (g[v0]+g[v1]+g[v2]) mod 3 == p hold. The used
 	// bitmap is the only shared word array, updated with an atomic OR.
 	// Unassigned vertices keep 0.
-	f.g = make([]uint8, n)
-	f.used = make([]uint64, (n+63)/64)
+	gv, used := im.G, im.Used
 	for t := ord.Rounds; t >= 1; t-- {
 		seg := ord.RoundSegment(t)
 		if err := pool.ForCtx(ctx, len(seg), 1024, func(_, lo, hi int) {
@@ -211,45 +216,92 @@ func (f *MPHF) assign(ctx context.Context, keys []uint64, pool *parallel.Pool) (
 					if u == free {
 						p = pos
 					} else {
-						sum += int(f.g[u])
+						sum += int(gv[u])
 					}
 				}
-				f.g[free] = uint8(((p-sum)%arity + arity) % arity)
-				atomic.OrUint64(&f.used[free>>6], 1<<(uint(free)&63))
+				gv[free] = uint8(((p-sum)%arity + arity) % arity)
+				atomic.OrUint64(&used[free>>6], 1<<(uint(free)&63))
 			}
 		}); err != nil {
-			return false, 0, err
+			return nil, 0, err
 		}
 	}
 
 	// Rank directory: prefix popcounts per word for O(1) rank.
-	f.rank = make([]uint32, len(f.used)+1)
-	for i, w := range f.used {
-		f.rank[i+1] = f.rank[i] + uint32(bits.OnesCount64(w))
+	rank := im.Rank
+	rank[0] = 0
+	for i, w := range used {
+		rank[i+1] = rank[i] + uint32(bits.OnesCount64(w))
 	}
-	return true, 0, nil
+	im.Marshal() // seal: checksum now covers the final arrays
+	return im, 0, nil
 }
 
+// FromImage wraps an already-open flat image as an MPHF view. The image
+// must have been produced by this package's builder (or validated by
+// layout.Open); its bytes must stay immutable for the life of the
+// function.
+func FromImage(im *layout.Image) (*MPHF, error) {
+	if im == nil || im.Kind != layout.KindMPHF {
+		return nil, fmt.Errorf("mphf: image kind is not %v", layout.KindMPHF)
+	}
+	return &MPHF{im: im}, nil
+}
+
+// Open validates data as a flat MPHF image and returns a zero-copy
+// read-only view over it: no array is decoded or copied, so data must
+// stay immutable (and mapped) for the life of the function. Corrupt or
+// hostile images return layout.ErrBadImage; unaligned slices return
+// layout.ErrUnaligned (repair with layout.Aligned).
+func Open(data []byte) (*MPHF, error) {
+	im, err := layout.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromImage(im)
+}
+
+// Image returns the function's flat image.
+func (f *MPHF) Image() *layout.Image { return f.im }
+
+// Bytes returns the function's sealed flat image without copying — the
+// exact bytes Open accepts. The slice aliases the function's serve
+// arrays; treat it as read-only.
+func (f *MPHF) Bytes() []byte { return f.im.Bytes() }
+
+// Seed returns the successful build attempt's seed.
+func (f *MPHF) Seed() uint64 { return f.im.Seed }
+
 // Keys returns the number of keys the function was built over.
-func (f *MPHF) Keys() int { return f.m }
+func (f *MPHF) Keys() int { return f.im.Keys }
 
 // Vertices returns the internal table size (≈ γ·m); the bits-per-key cost
 // is 2·Vertices()/Keys() plus the rank directory.
-func (f *MPHF) Vertices() int { return f.subSize * arity }
+func (f *MPHF) Vertices() int { return f.im.Vertices() }
+
+// vertices returns the three vertices of key x, one per part.
+func (f *MPHF) vertices(x uint64) [arity]uint32 {
+	return layout.VertexTriple(f.im.HSeed, f.im.SubSize, x)
+}
 
 // Lookup returns the index in [0, Keys()) assigned to key x. For keys not
 // in the build set the result is arbitrary (but in range for any x whose
 // selected vertex happens to be used; otherwise it is clamped).
 func (f *MPHF) Lookup(x uint64) int {
-	vs := f.vertices(x)
-	p := (int(f.g[vs[0]]) + int(f.g[vs[1]]) + int(f.g[vs[2]])) % arity
+	im := f.im
+	vs := layout.VertexTriple(im.HSeed, im.SubSize, x)
+	p := (int(im.G[vs[0]]) + int(im.G[vs[1]]) + int(im.G[vs[2]])) % arity
 	v := vs[p]
 	// rank(v): used vertices strictly before v, plus clamping for
 	// foreign keys that select an unused vertex.
 	word, bit := v>>6, uint(v)&63
-	r := int(f.rank[word]) + bits.OnesCount64(f.used[word]&((1<<bit)-1))
-	if r >= f.m {
-		r = f.m - 1
+	r := int(im.Rank[word]) + bits.OnesCount64(im.Used[word]&((1<<bit)-1))
+	if r >= im.Keys {
+		r = im.Keys - 1
 	}
 	return r
 }
+
+// LookupValue adapts Lookup to the uint64-valued static-function
+// serving contract (repro.StaticFunc): the assigned index as a uint64.
+func (f *MPHF) LookupValue(x uint64) uint64 { return uint64(f.Lookup(x)) }

@@ -208,17 +208,20 @@ type StaticMap = bloomier.Filter
 
 // BuildStaticMap builds an immutable map from distinct keys to values in
 // ~1.23 slots per key, with three-hash XOR lookups (Bloomier filter /
-// static function retrieval — reference [4] of the paper).
+// static function retrieval — reference [4] of the paper). The build is
+// byte-identical at every worker count; serialize it with
+// (*StaticMap).Bytes and reload it zero-copy with OpenStaticMap.
 func BuildStaticMap(keys, values []uint64, seed uint64) (*StaticMap, error) {
 	return bloomier.Build(keys, values, bloomier.DefaultGamma, seed, 10)
 }
 
-// BuildStaticMapParallel is BuildStaticMap with both construction phases
-// parallelized across cores: subround peeling plus layered reverse
-// back-substitution (the parallel-construction extension enabled by the
-// subtable orientation's layer-dependency guarantee).
+// BuildStaticMapParallel builds the same map as BuildStaticMap.
+//
+// Deprecated: the subround construction pipeline has been folded into
+// the single ordered-path implementation (fully parallel and bit-stable
+// at every worker count), so this is now an alias of BuildStaticMap.
 func BuildStaticMapParallel(keys, values []uint64, seed uint64) (*StaticMap, error) {
-	return bloomier.BuildParallel(keys, values, bloomier.DefaultGamma, seed, 10)
+	return BuildStaticMap(keys, values, seed)
 }
 
 // PeelDepths returns, per vertex, the parallel round in which it would be
@@ -309,9 +312,7 @@ func BuildMPHFWithPool(keys []uint64, seed uint64, pool *WorkerPool) (*MPHF, err
 
 // BuildStaticMapWithPool is BuildStaticMap on an explicit shared pool.
 //
-// Deprecated: use Runtime.BuildStaticMap (note: it uses the fully
-// parallel construction pipeline, whose foreign-key lookups may differ;
-// build keys look up identical values).
+// Deprecated: use Runtime.BuildStaticMap.
 func BuildStaticMapWithPool(keys, values []uint64, seed uint64, pool *WorkerPool) (*StaticMap, error) {
 	return bloomier.BuildWithPool(keys, values, bloomier.DefaultGamma, seed, 10, pool)
 }

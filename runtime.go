@@ -338,16 +338,17 @@ func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*
 }
 
 // BuildStaticMap builds an immutable key → value map (Bloomier filter)
-// with the fully parallel pipeline — subround peeling plus layered
-// back-substitution — on the shared pool. Cancellation is checked at the
-// subround and layer barriers. Build keys look up identical values to
-// the serial construction; foreign keys may read different garbage (the
-// two peel orders choose different free-variable completions).
+// with every phase — hashing, index build, the ordered parallel peel,
+// and round-parallel back-substitution — on the shared pool. The
+// resulting map is byte-identical at every Runtime size (the ordered
+// peel is bit-stable across worker counts), so a map built here seals
+// the same flat image an offline builder box would produce.
+// Cancellation is checked at every round barrier of every attempt.
 func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, seed uint64) (*StaticMap, error) {
 	var f *StaticMap
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		var err error
-		f, err = bloomier.BuildParallelCtx(ctx, keys, values, bloomier.DefaultGamma, seed, 10, pool)
+		f, err = bloomier.BuildCtx(ctx, keys, values, bloomier.DefaultGamma, seed, 10, pool)
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,127 @@
+// Serving-path benchmarks: lookup QPS through the three serve shapes —
+// the freshly built structure, a zero-copy view opened from its flat
+// image (the disk/mmap path), and a StaticTable (epoch-pinned, swap-safe).
+//
+// Run:  go test -bench 'Serve' -benchmem
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func servingFixtures(b *testing.B, n int) (keys []uint64, sm *StaticMap, smImg *StaticMap, f *MPHF, fImg *MPHF) {
+	b.Helper()
+	keys = make([]uint64, n)
+	values := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		values[i] = keys[i] ^ 0xabcd
+	}
+	var err error
+	sm, err = BuildStaticMap(keys, values, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	smImg, err = OpenStaticMap(AlignImage(bytes.Clone(sm.Bytes())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err = BuildMPHF(keys, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fImg, err = OpenMPHF(AlignImage(bytes.Clone(f.Bytes())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return keys, sm, smImg, f, fImg
+}
+
+// BenchmarkServeLookup measures the hot single-key path. InMemory and
+// Layout hit the structure directly (they share one code path over the
+// flat image, so any gap is memory locality, not code); Table adds the
+// StaticTable pin/unpin pair — the price of swap-safety per lookup.
+func BenchmarkServeLookup(b *testing.B) {
+	const n = 1 << 20
+	keys, sm, smImg, f, fImg := servingFixtures(b, n)
+
+	tbl := NewStaticTable()
+	tbl.Swap(smImg, nil)
+
+	run := func(name string, fn StaticFunc) {
+		b.Run(name, func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += fn.LookupValue(keys[i&(n-1)])
+			}
+			_ = sink
+		})
+	}
+	run("StaticMap/InMemory", sm)
+	run("StaticMap/Layout", smImg)
+	run("MPHF/InMemory", f)
+	run("MPHF/Layout", fImg)
+	b.Run("StaticMap/Table", func(b *testing.B) {
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _ := tbl.Lookup(keys[i&(n-1)])
+			sink += v
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkServeLookupBatch measures the batched path: one epoch
+// pin/unpin amortized over the whole batch, reported as ns/key.
+func BenchmarkServeLookupBatch(b *testing.B) {
+	const n = 1 << 20
+	keys, _, smImg, _, _ := servingFixtures(b, n)
+	tbl := NewStaticTable()
+	tbl.Swap(smImg, nil)
+
+	for _, batch := range []int{16, 256} {
+		out := make([]uint64, batch)
+		b.Run(fmt.Sprintf("Table/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) & (n - 1 - batch)
+				if _, ok := tbl.LookupBatch(keys[lo:lo+batch], out); !ok {
+					b.Fatal("empty table")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+		})
+		b.Run(fmt.Sprintf("Direct/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) & (n - 1 - batch)
+				for j, k := range keys[lo : lo+batch] {
+					out[j] = smImg.LookupValue(k)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+		})
+	}
+}
+
+// BenchmarkServeLookupParallel drives the StaticTable from all
+// GOMAXPROCS goroutines — the sharded pin counters are what keep this
+// from collapsing onto one contended cache line.
+func BenchmarkServeLookupParallel(b *testing.B) {
+	const n = 1 << 20
+	keys, _, smImg, _, _ := servingFixtures(b, n)
+	tbl := NewStaticTable()
+	tbl.Swap(smImg, nil)
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink uint64
+		i := 0
+		for pb.Next() {
+			v, _ := tbl.Lookup(keys[i&(n-1)])
+			sink += v
+			i++
+		}
+		_ = sink
+	})
+}

@@ -1,0 +1,281 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeFn is a StaticFunc that knows its generation and whether its
+// backing "image" has been released: every lookup asserts the epoch
+// contract (a pinned generation is never reclaimed under a reader) by
+// bumping torn when it observes its own release flag set mid-lookup.
+type fakeFn struct {
+	gen      uint64
+	released *atomic.Bool
+	torn     *atomic.Int64
+}
+
+func (f fakeFn) LookupValue(key uint64) uint64 {
+	if f.released.Load() {
+		f.torn.Add(1)
+	}
+	return f.gen
+}
+
+func TestStaticTableEmpty(t *testing.T) {
+	tbl := NewStaticTable()
+	if _, ok := tbl.Lookup(1); ok {
+		t.Fatal("empty table served a lookup")
+	}
+	if _, ok := tbl.LookupBatch([]uint64{1}, make([]uint64, 1)); ok {
+		t.Fatal("empty table served a batch")
+	}
+	if g := tbl.Generation(); g != 0 {
+		t.Fatalf("empty table generation %d", g)
+	}
+}
+
+// TestStaticTableSwapWhileLookup is the serving acceptance test: one
+// goroutine swaps rebuilt generations while many others run lookups
+// continuously. Under -race this exercises the pin/recheck/drain
+// protocol; the assertions pin its semantics — no lookup ever runs
+// against a reclaimed generation, observed generations are monotone
+// per reader, and releases fire in generation order only after each
+// epoch drains.
+func TestStaticTableSwapWhileLookup(t *testing.T) {
+	const swaps = 300
+	tbl := NewStaticTable()
+	var torn atomic.Int64
+	var releasedUpTo atomic.Uint64 // highest generation released so far
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			keys := []uint64{1, 2, 3}
+			out := make([]uint64, len(keys))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen, ok := tbl.Lookup(uint64(i))
+				if !ok {
+					continue // before the first install
+				}
+				if gen < last {
+					t.Errorf("generation went backwards: %d after %d", gen, last)
+					return
+				}
+				last = gen
+				if bg, ok := tbl.LookupBatch(keys, out); ok {
+					for _, v := range out {
+						if v != bg {
+							t.Errorf("batch mixed generations: value %d under gen %d", v, bg)
+							return
+						}
+					}
+					if bg < last {
+						t.Errorf("batch generation went backwards: %d after %d", bg, last)
+						return
+					}
+					last = bg
+				}
+			}
+		}()
+	}
+
+	for i := 1; i <= swaps; i++ {
+		released := &atomic.Bool{}
+		fn := fakeFn{gen: uint64(i), released: released, torn: &torn}
+		gen := tbl.Swap(fn, func() {
+			// Swap(i+1) reclaims generation i: releases must arrive in
+			// generation order, strictly behind the swap counter.
+			if prev := releasedUpTo.Swap(uint64(i)); prev != uint64(i-1) {
+				t.Errorf("release order: got gen %d after %d", i, prev)
+			}
+			released.Store(true)
+		})
+		if gen != uint64(i) {
+			t.Fatalf("Swap returned gen %d, want %d", gen, i)
+		}
+		if got := tbl.Generation(); got != uint64(i) {
+			t.Fatalf("Generation() = %d, want %d", got, i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d lookups ran against a reclaimed generation", n)
+	}
+	// The final generation is live, so exactly swaps-1 were reclaimed.
+	if got := releasedUpTo.Load(); got != swaps-1 {
+		t.Fatalf("released up to gen %d, want %d", got, swaps-1)
+	}
+}
+
+// TestRuntimeRebuildStaticMapServes drives the full production shape on
+// one Runtime: rebuild jobs (ordinary pool jobs) run concurrently with
+// continuous lookups, each swap retiring the previous map. Values
+// encode their build generation, so any torn read would surface as an
+// inconsistent batch.
+func TestRuntimeRebuildStaticMapServes(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Workers: 2, MaxJobs: 4})
+	defer rt.Shutdown(context.Background())
+	ctx := context.Background()
+
+	const nkeys = 5000
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	valuesFor := func(gen uint64) []uint64 {
+		vals := make([]uint64, nkeys)
+		for i, k := range keys {
+			vals[i] = k ^ gen
+		}
+		return vals
+	}
+
+	tbl := NewStaticTable()
+	gen, err := rt.RebuildStaticMap(ctx, tbl, keys, valuesFor(1), 7)
+	if err != nil {
+		t.Fatalf("RebuildStaticMap: %v", err)
+	}
+	if gen != 1 {
+		t.Fatalf("first rebuild installed gen %d", gen)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]uint64, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				probe := keys[i%nkeys]
+				if v, ok := rt.Lookup(tbl, probe); !ok || v != probe^1 && v != probe^2 && v != probe^3 {
+					t.Errorf("Lookup(%#x) = %#x, not a generation value", probe, v)
+					return
+				}
+				batch := keys[i%(nkeys-8) : i%(nkeys-8)+8]
+				if _, ok := tbl.LookupBatch(batch, out); ok {
+					want := out[0] ^ batch[0] // this batch's generation salt
+					for j, v := range out {
+						if v != batch[j]^want {
+							t.Errorf("batch mixed generations at %d", j)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	for g := uint64(2); g <= 3; g++ {
+		gen, err := rt.RebuildStaticMap(ctx, tbl, keys, valuesFor(g), 7)
+		if err != nil {
+			t.Fatalf("rebuild gen %d: %v", g, err)
+		}
+		if gen != g {
+			t.Fatalf("rebuild installed gen %d, want %d", gen, g)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final generation serves exactly valuesFor(3).
+	for _, k := range keys[:100] {
+		if v, ok := tbl.Lookup(k); !ok || v != k^3 {
+			t.Fatalf("after rebuilds: Lookup(%#x) = %#x, want %#x", k, v, k^3)
+		}
+	}
+}
+
+// TestRuntimeRebuildMPHFSwap covers the MPHF flavor: the table serves
+// assigned indices, and a swap from an image-opened function behaves
+// identically to the freshly built one.
+func TestRuntimeRebuildMPHFSwap(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Workers: 2})
+	defer rt.Shutdown(context.Background())
+	ctx := context.Background()
+
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = uint64(i)*0x517cc1b727220a95 + 3
+	}
+	tbl := NewStaticTable()
+	if _, err := rt.RebuildMPHF(ctx, tbl, keys, 11); err != nil {
+		t.Fatalf("RebuildMPHF: %v", err)
+	}
+	seen := make([]bool, len(keys))
+	for _, k := range keys {
+		v, ok := tbl.Lookup(k)
+		if !ok || v >= uint64(len(keys)) || seen[v] {
+			t.Fatalf("table lookup not a bijection at key %#x (v=%d)", k, v)
+		}
+		seen[v] = true
+	}
+
+	// Swap in the same function reloaded from its marshaled image: the
+	// serve path is identical (one code path for built and loaded).
+	f, err := rt.BuildMPHF(ctx, keys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenMPHF(AlignImage(bytes.Clone(f.Bytes())))
+	if err != nil {
+		t.Fatalf("OpenMPHF: %v", err)
+	}
+	released := &atomic.Bool{}
+	if _, err := rt.Swap(ctx, tbl, re, func() { released.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	// Retire the image-backed generation too, proving its release hook runs.
+	if _, err := rt.Swap(ctx, tbl, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !released.Load() {
+		t.Fatal("release hook of retired image-backed generation did not run")
+	}
+	for _, k := range keys[:200] {
+		v, _ := tbl.Lookup(k)
+		if v != uint64(f.Lookup(k)) {
+			t.Fatalf("post-swap lookup diverges on %#x", k)
+		}
+	}
+}
+
+// TestSwapAfterShutdown pins admission: Runtime.Swap is a job, so a
+// shut-down Runtime rejects it while the table keeps serving its last
+// generation.
+func TestSwapAfterShutdown(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{})
+	ctx := context.Background()
+	tbl := NewStaticTable()
+	tbl.Swap(fakeFn{gen: 1, released: &atomic.Bool{}, torn: &atomic.Int64{}}, nil)
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Swap(ctx, tbl, fakeFn{gen: 2, released: &atomic.Bool{}, torn: &atomic.Int64{}}, nil); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("Swap after Shutdown: %v, want ErrRuntimeClosed", err)
+	}
+	if v, ok := tbl.Lookup(9); !ok || v != 1 {
+		t.Fatal("table stopped serving after Runtime shutdown")
+	}
+}

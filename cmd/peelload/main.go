@@ -277,7 +277,9 @@ func main() {
 			}
 		}
 		d := time.Since(start)
-		isolatedRate = report("isolated", d, repro.RuntimeStats{JobsAdmitted: admitted}, firstErr)
+		var agg repro.RuntimeStats
+		agg.JobsAdmitted = admitted
+		isolatedRate = report("isolated", d, agg, firstErr)
 	}
 	if *mode == "both" && isolatedRate > 0 {
 		fmt.Printf("  shared/isolated throughput ratio: %.2f\n", sharedRate/isolatedRate)

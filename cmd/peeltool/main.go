@@ -14,12 +14,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/hypergraph"
+	"repro/internal/layout"
 	"repro/internal/rng"
 )
 
@@ -123,7 +125,19 @@ func main() {
 	}
 }
 
+// Exit codes: 1 generic failure, 2 usage, 3 image rejected by
+// validation (bad magic/version/bounds/alignment or checksum mismatch —
+// a corrupt, truncated, or torn file). The distinct code lets scripts
+// and orchestrators tell "this image is damaged, rebuild or refetch it"
+// from transient operational errors.
+const exitBadImage = 3
+
 func fatal(err error) {
+	if errors.Is(err, layout.ErrBadImage) || errors.Is(err, layout.ErrUnaligned) {
+		fmt.Fprintf(os.Stderr, "peeltool: image rejected: %v\n", err)
+		fmt.Fprintln(os.Stderr, "peeltool: the file is corrupt, truncated, or torn; rebuild or refetch it")
+		os.Exit(exitBadImage)
+	}
 	fmt.Fprintln(os.Stderr, "peeltool:", err)
 	os.Exit(1)
 }

@@ -69,7 +69,10 @@ func runBuild(args []string) {
 		fatal(fmt.Errorf("build: unknown -kind %q (want map or mphf)", *kind))
 	}
 
-	if err := os.WriteFile(*out, img, 0o644); err != nil {
+	// Crash-safe write: temp file + fsync + atomic rename, so an
+	// interrupted build never leaves a torn image at -o (a reader sees
+	// the old file or the new one, nothing in between).
+	if err := layout.WriteFile(*out, img); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: kind=%s keys=%d bytes=%d\n", *out, *kind, *n, len(img))

@@ -80,6 +80,42 @@
 // report the last attempt's 2-core survivor count through
 // ErrMPHFBuildFailed / ErrStaticMapBuildFailed.
 //
+// # Failure policy and fault tolerance
+//
+// A panic inside any job — a worker claiming chunks mid-peel, a Group
+// job, a Runtime job — is recovered at the chunk and job boundaries and
+// reported as an error matching ErrJobPanicked; the *PanicError carries
+// the panic value and captured stack, the barrier still completes, and
+// the pool stays healthy for concurrent and subsequent jobs. Panics are
+// counted in Stats().JobsPanicked.
+//
+// RuntimeOptions.Policy configures what the Runtime does about
+// failures, and WithPolicy derives a handle with a different policy over
+// the same pool and counters (zero Policy = no timeout, no retries):
+//
+//	rt := repro.NewRuntime(repro.RuntimeOptions{
+//	    Workers: 8,
+//	    Policy:  repro.Policy{JobTimeout: time.Second, BuildRetries: 2},
+//	})
+//	f, err := rt.BuildMPHF(ctx, keys, seed)            // retried on ErrBuildFailed
+//	_, _, _, err = rt.WithPolicy(repro.Policy{ReconcileRetries: 3}).
+//	    Reconcile(ctx, local, remote, seed, 1.5)       // headroom escalates per retry
+//
+// JobTimeout applies a default deadline to jobs whose caller context has
+// none (an explicit caller deadline always wins). BuildRetries re-runs a
+// whole failed BuildMPHF/BuildStaticMap with a deterministically
+// escalated seed — only on the probabilistic ErrMPHFBuildFailed /
+// ErrStaticMapBuildFailed, never on cancellation or panics.
+// ReconcileRetries re-runs an undecodable reconciliation with the
+// difference-table headroom raised by HeadroomStep per attempt (capped
+// at MaxHeadroom), accumulating wire cost across attempts.
+//
+// The failure paths themselves are tested by fault injection: named
+// failpoints (internal/faultinject) compiled to no-ops by default and
+// armed under -tags=faultinject let the chaos suite panic a worker
+// mid-peel under a serving load, tear an image mid-swap, and force
+// build and decode failures; see the Robustness section of README.md.
+//
 // # Offline build, online serve
 //
 // The built static functions separate build time from serve time. Every
@@ -109,6 +145,11 @@
 // in-flight lookup pinning it has drained, so readers never observe a
 // torn or unmapped image and never block: epoch-based reclamation with
 // a generation counter, exactly the offline-build/fleet-serve pattern.
+// SwapImage installs a raw image only after validating it — a corrupt
+// or truncated candidate is quarantined (counted by SwapRejections)
+// while the previous generation keeps serving — and layout.WriteFile
+// persists images crash-safely (temp file, fsync, rename, directory
+// fsync), so the file at the target path is always a complete image.
 //
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream

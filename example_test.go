@@ -30,7 +30,7 @@ func ExampleThreshold() {
 // The idealized recurrence predicts the number of peeling rounds for a
 // given instance size (Table 1 of the paper converges to 13 at c = 0.7).
 func ExamplePredictRounds() {
-	rounds, ok := repro.PredictRounds(repro.RecurrenceParams{K: 2, R: 4, C: 0.7}, 1e6, 100)
+	rounds, ok, _ := repro.PredictRounds(repro.RecurrenceParams{K: 2, R: 4, C: 0.7}, 1e6, 100)
 	fmt.Println(rounds, ok)
 	// Output:
 	// 13 true

@@ -30,7 +30,10 @@ func main() {
 		}
 
 		// Compare with the idealized recurrence (Table 2 of the paper).
-		pred := repro.RecurrenceParams{K: k, R: r, C: c}.Trace(res.Rounds)
+		pred, err := repro.RecurrenceParams{K: k, R: r, C: c}.Trace(res.Rounds)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Println("  recurrence check (round: simulated / predicted):")
 		for t := 0; t < 3 && t < len(pred); t++ {
 			fmt.Printf("    round %2d: %8d / %8.0f\n",

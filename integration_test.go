@@ -25,7 +25,10 @@ func TestIntegrationModelChain(t *testing.T) {
 	n := 1 << 18
 	g := NewUniformHypergraph(n, int(c*float64(n)), r, 77)
 	sim := PeelParallel(g, k)
-	rec := recurrence.Params{K: k, R: r, C: c}.Trace(sim.Rounds)
+	rec, err := recurrence.Params{K: k, R: r, C: c}.Trace(sim.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tree := branching.Params{K: k, R: r, C: c}
 
 	for _, round := range []int{1, 3, 5} {
@@ -192,7 +195,10 @@ func TestIntegrationHarnessConsistency(t *testing.T) {
 		K: 2, R: 4, N: 1 << 16, Cs: []float64{0.7}, Rounds: 5, Trials: 2, Seed: 888,
 	}
 	res := experiments.RunTable2(cfg)
-	direct := recurrence.Params{K: 2, R: 4, C: 0.7}.Trace(5)
+	direct, err := recurrence.Params{K: 2, R: 4, C: 0.7}.Trace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		want := direct[i].Lambda * float64(cfg.N)
 		if math.Abs(res.Series[0].Prediction[i]-want) > 1e-6 {

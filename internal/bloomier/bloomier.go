@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hypergraph"
 	"repro/internal/layout"
 	"repro/internal/parallel"
@@ -118,6 +119,15 @@ func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed ui
 		im, left, err := buildAttempt(ctx, keys, values, attemptSeed, hseed, m, subSize, pool)
 		if err != nil {
 			return nil, err
+		}
+		if faultinject.Enabled {
+			// Failpoint: setting the *bool forces this attempt to report
+			// a non-empty 2-core, as an unlucky seed would.
+			forceFail := false
+			faultinject.Fire(faultinject.BloomierAttempt, &forceFail)
+			if forceFail {
+				im, left = nil, len(keys)
+			}
 		}
 		if im != nil {
 			return &Filter{im: im}, nil

@@ -27,7 +27,10 @@ func TestSurvivalMatchesRecurrence(t *testing.T) {
 	} {
 		p := Params{K: cfg.k, R: cfg.r, C: cfg.c}
 		got := p.SurvivalProbability(cfg.rounds, trials, 99)
-		want := recurrence.Params{K: cfg.k, R: cfg.r, C: cfg.c}.Lambda(cfg.rounds)
+		want, err := recurrence.Params{K: cfg.k, R: cfg.r, C: cfg.c}.Lambda(cfg.rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
 		se := math.Sqrt(want*(1-want)/trials) + 1e-9
 		if math.Abs(got-want) > 6*se+0.003 {
 			t.Errorf("k=%d r=%d c=%v t=%d: MC %.4f vs recurrence %.4f (se %.4f)",

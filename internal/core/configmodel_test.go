@@ -41,7 +41,10 @@ func TestPoissonConfigPeelsLikeUniform(t *testing.T) {
 	// The realized edge density wobbles around c (Poisson degree sum);
 	// compare survivors against the recurrence at the realized density.
 	realized := g.EdgeDensity()
-	pred := recurrence.Params{K: 2, R: r, C: realized}.Trace(3)
+	pred, err := recurrence.Params{K: 2, R: r, C: realized}.Trace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
 		want := pred[i].Lambda * float64(n)
 		got := float64(res.SurvivorHistory[i])

@@ -186,7 +186,10 @@ func TestParallelSurvivorsMatchRecurrence(t *testing.T) {
 	for _, c := range []float64{0.7, 0.85} {
 		g := uniformGraph(n, int(c*float64(n)), 4, 23)
 		res := Parallel(g, 2, Options{})
-		pred := recurrence.Params{K: 2, R: 4, C: c}.Trace(res.Rounds)
+		pred, err := recurrence.Params{K: 2, R: 4, C: c}.Trace(res.Rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < res.Rounds && i < 8; i++ {
 			want := pred[i].Lambda * float64(n)
 			got := float64(res.SurvivorHistory[i])

@@ -76,7 +76,10 @@ func TestSubtableSurvivorsMatchRecurrence(t *testing.T) {
 	c := 0.7
 	g := partitionedGraph(n, int(c*float64(n)), 4, 45)
 	res := Subtables(g, 2, Options{})
-	pred := recurrence.Params{K: 2, R: 4, C: c}.SubtableTrace(7)
+	pred, err := recurrence.Params{K: 2, R: 4, C: c}.SubtableTrace(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < len(pred) && i < len(res.SurvivorHistory) && i < 16; i++ {
 		want := pred[i].MixedFra * float64(n)
 		got := float64(res.SurvivorHistory[i])

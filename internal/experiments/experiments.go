@@ -20,6 +20,19 @@ import (
 	"repro/internal/stats"
 )
 
+// must unwraps a (value, error) pair from the recurrence package. The
+// experiment runners are application code driven by hardcoded parameter
+// tables, where an invalid Params is a programming error in the config,
+// not an input to degrade on — so the error surfaces as a panic here, at
+// the application layer, keeping the recurrence library itself
+// panic-free.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // Table1Config parameterizes the Table 1 sweep: average parallel peeling
 // rounds and failure counts as n grows, for several edge densities.
 type Table1Config struct {
@@ -162,7 +175,7 @@ func RunTable2(cfg Table2Config) *Table2Result {
 	res := &Table2Result{Config: cfg}
 	for ci, c := range cfg.Cs {
 		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
-		trace := p.Trace(cfg.Rounds)
+		trace := must(p.Trace(cfg.Rounds))
 		series := Table2Series{C: c}
 		for _, s := range trace {
 			series.Prediction = append(series.Prediction, s.Lambda*float64(cfg.N))

@@ -46,7 +46,7 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 	res := &Figure1Result{Config: cfg, CStar: cstar, XStar: xstar}
 	for _, c := range cfg.Cs {
 		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
-		full := p.BetaTrace(cfg.MaxRounds)
+		full := must(p.BetaTrace(cfg.MaxRounds))
 		if cfg.StopBelow > 0 {
 			for i, b := range full {
 				if b < cfg.StopBelow {
@@ -147,7 +147,10 @@ func RunNuSweep(cfg NuSweepConfig) *NuSweepResult {
 	for _, nu := range cfg.Nus {
 		c := cstar - nu
 		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
-		rounds, ok := p.PredictRounds(cfg.N, cfg.MaxRounds)
+		rounds, ok, err := p.PredictRounds(cfg.N, cfg.MaxRounds)
+		if err != nil {
+			panic(err)
+		}
 		if !ok {
 			rounds = cfg.MaxRounds
 		}

@@ -135,7 +135,7 @@ func RunTable6(cfg Table6Config) *Table6Result {
 	res := &Table6Result{Config: cfg}
 	np := cfg.N - cfg.N%cfg.R
 	p := recurrence.Params{K: cfg.K, R: cfg.R, C: cfg.C}
-	trace := p.SubtableTrace(cfg.Rounds)
+	trace := must(p.SubtableTrace(cfg.Rounds))
 	total := cfg.Rounds * cfg.R
 	sums := make([]float64, total)
 	m := int(cfg.C * float64(np))

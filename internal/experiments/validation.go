@@ -71,7 +71,10 @@ func RunEmpiricalNu(cfg EmpiricalNuConfig) *EmpiricalNuResult {
 			}
 			return float64(r.Rounds)
 		})
-		pred, _ := recurrence.Params{K: cfg.K, R: cfg.R, C: c}.PredictRounds(float64(cfg.N), 1<<20)
+		pred, _, err := recurrence.Params{K: cfg.K, R: cfg.R, C: c}.PredictRounds(float64(cfg.N), 1<<20)
+		if err != nil {
+			panic(err)
+		}
 		res.Rows = append(res.Rows, EmpiricalNuRow{
 			Nu: nu, C: c,
 			MeanRounds: stats.Summarize(rounds).Mean,
@@ -124,7 +127,7 @@ type ModelValidationRow struct {
 func RunModelValidation(cfg ModelValidationConfig) []ModelValidationRow {
 	p := branching.Params{K: cfg.K, R: cfg.R, C: cfg.C}
 	rec := recurrence.Params{K: cfg.K, R: cfg.R, C: cfg.C}
-	trace := rec.Trace(cfg.Rounds)
+	trace := must(rec.Trace(cfg.Rounds))
 	g := hypergraph.Uniform(cfg.N, int(cfg.C*float64(cfg.N)), cfg.R, rng.New(cfg.Seed))
 	sim := core.Parallel(g, cfg.K, core.Options{MaxRounds: cfg.Rounds})
 

@@ -1,0 +1,26 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether failpoints are compiled in. In the default
+// build it is the constant false, so every `if faultinject.Enabled`
+// guard — and the Fire call behind it — is eliminated at compile time.
+const Enabled = false
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(name string, fn Callback) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm(name string) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Hits returns 0 without the faultinject build tag.
+func Hits(name string) int64 { return 0 }
+
+// Fire is a no-op without the faultinject build tag.
+func Fire(name string, arg any) {}
+
+// FireErr returns nil without the faultinject build tag.
+func FireErr(name string, arg any) error { return nil }

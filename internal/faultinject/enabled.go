@@ -1,0 +1,82 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Enabled reports whether failpoints are compiled in; true under the
+// faultinject build tag.
+const Enabled = true
+
+// point is one armed failpoint: its callback and fire count. The count
+// belongs to the arming (Arm resets it), so FailFirst-style callbacks
+// see hits starting at 1.
+type point struct {
+	fn   Callback
+	hits int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Arm installs fn as the action of the named failpoint, resetting its
+// hit count. Arming replaces any previous callback.
+func Arm(name string, fn Callback) {
+	mu.Lock()
+	points[name] = &point{fn: fn}
+	mu.Unlock()
+}
+
+// Disarm removes the named failpoint's callback; subsequent fires are
+// no-ops again.
+func Disarm(name string) {
+	mu.Lock()
+	delete(points, name)
+	mu.Unlock()
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	mu.Unlock()
+}
+
+// Hits returns how many times the named failpoint has fired since it
+// was last armed (0 if not armed).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Fire triggers the named failpoint, discarding any callback error —
+// for sites whose only failure modes are panics, stalls, or argument
+// mutation.
+func Fire(name string, arg any) { _ = FireErr(name, arg) }
+
+// FireErr triggers the named failpoint and returns the callback's
+// error. Unarmed failpoints return nil. The callback runs outside the
+// registry lock (it may panic or stall), with the hit count snapshotted
+// under it, so concurrent fires each observe a distinct count.
+func FireErr(name string, arg any) error {
+	mu.Lock()
+	p := points[name]
+	var fn Callback
+	var hit int64
+	if p != nil {
+		p.hits++
+		hit = p.hits
+		fn = p.fn
+	}
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(hit, arg)
+}

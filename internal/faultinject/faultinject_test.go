@@ -1,0 +1,121 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFireUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := FireErr("nothing.armed", nil); err != nil {
+		t.Fatalf("unarmed FireErr = %v, want nil", err)
+	}
+	if Hits("nothing.armed") != 0 {
+		t.Error("unarmed failpoint accumulated hits")
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	Reset()
+	sentinel := errors.New("injected")
+	Arm("t.point", func(hit int64, arg any) error {
+		if hit <= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	defer Disarm("t.point")
+
+	for i := 1; i <= 3; i++ {
+		err := FireErr("t.point", nil)
+		if (i <= 2) != (err != nil) {
+			t.Errorf("hit %d: err = %v", i, err)
+		}
+	}
+	if got := Hits("t.point"); got != 3 {
+		t.Errorf("Hits = %d, want 3", got)
+	}
+	Disarm("t.point")
+	if err := FireErr("t.point", nil); err != nil {
+		t.Errorf("disarmed FireErr = %v, want nil", err)
+	}
+}
+
+func TestArmResetsHitCount(t *testing.T) {
+	Reset()
+	Arm("t.reset", func(int64, any) error { return nil })
+	Fire("t.reset", nil)
+	Fire("t.reset", nil)
+	Arm("t.reset", func(int64, any) error { return nil })
+	if got := Hits("t.reset"); got != 0 {
+		t.Errorf("Hits after re-arm = %d, want 0", got)
+	}
+}
+
+func TestFailFirstSetsBoolArg(t *testing.T) {
+	Reset()
+	sentinel := errors.New("fail")
+	Arm("t.ff", FailFirst(2, sentinel))
+	defer Disarm("t.ff")
+
+	for i := 1; i <= 3; i++ {
+		fail := false
+		err := FireErr("t.ff", &fail)
+		wantFail := i <= 2
+		if fail != wantFail || (err != nil) != wantFail {
+			t.Errorf("hit %d: fail=%v err=%v, want fail=%v", i, fail, err, wantFail)
+		}
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	Reset()
+	Arm("t.panic", PanicAt(2, "kaboom"))
+	defer Disarm("t.panic")
+
+	Fire("t.panic", nil) // hit 1: no-op
+	defer func() {
+		if v := recover(); v != "kaboom" {
+			t.Errorf("recovered %v, want kaboom", v)
+		}
+	}()
+	Fire("t.panic", nil) // hit 2: panics
+	t.Fatal("unreachable")
+}
+
+func TestConcurrentFiresSeeDistinctHits(t *testing.T) {
+	Reset()
+	seen := make(map[int64]bool)
+	var seenMu sync.Mutex
+	Arm("t.conc", func(hit int64, _ any) error {
+		seenMu.Lock()
+		seen[hit] = true
+		seenMu.Unlock()
+		return nil
+	})
+	defer Disarm("t.conc")
+
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Fire("t.conc", nil)
+				fired.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != int(fired.Load()) {
+		t.Errorf("%d distinct hit counts for %d fires", len(seen), fired.Load())
+	}
+	if Hits("t.conc") != 800 {
+		t.Errorf("Hits = %d, want 800", Hits("t.conc"))
+	}
+}

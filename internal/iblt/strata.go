@@ -3,12 +3,22 @@ package iblt
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"slices"
 
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
+
+// ErrDecodeIncomplete is the sentinel matched (errors.Is) by Reconcile
+// errors whose difference table failed to decode completely — the
+// protocol's probabilistic failure mode, hit when the strata estimate
+// undersized the table for the true difference. It is retryable:
+// rebuild with more headroom (the repro Runtime's Policy does this
+// automatically).
+var ErrDecodeIncomplete = errors.New("iblt: reconciliation table decode incomplete")
 
 // StrataEstimator estimates the size of the symmetric difference between
 // two key sets without knowing it in advance — the component that makes
@@ -248,8 +258,14 @@ func ReconcileCtx(ctx context.Context, localKeys, remoteKeys []uint64, seed uint
 	if err != nil {
 		return nil, nil, wireBytes, err
 	}
-	if !res.Complete {
-		return nil, nil, wireBytes, fmt.Errorf("iblt: reconciliation IBLT failed to decode (estimate %d, cells %d)", est, cells)
+	forceFail := false
+	if faultinject.Enabled {
+		// Failpoint: setting the *bool forces this reconciliation round
+		// to report an incomplete decode.
+		faultinject.Fire(faultinject.ReconcileDecode, &forceFail)
+	}
+	if !res.Complete || forceFail {
+		return nil, nil, wireBytes, fmt.Errorf("%w (estimate %d, cells %d)", ErrDecodeIncomplete, est, cells)
 	}
 	slices.Sort(res.Added)
 	slices.Sort(res.Removed)

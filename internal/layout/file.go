@@ -1,0 +1,83 @@
+package layout
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// WriteFile persists a sealed image (or any byte blob) to path
+// crash-safely: the bytes go to a temporary file in the same directory,
+// the file is fsynced, atomically renamed over path, and the directory
+// is fsynced so the rename itself survives a power cut. A reader
+// (Open, or a peeltool query on the image file) therefore sees either
+// the complete previous file or the complete new one — never a torn
+// write. On any error the target file is untouched; a leftover
+// .tmp-* file from an interrupted write is garbage Open would reject
+// (its checksum cannot seal), safe to delete.
+//
+// This is the only write path the runtime uses for images
+// (cmd/peeltool build, serving-layer persistence), pairing with Open's
+// checksum verification: torn writes are prevented here, and any
+// corruption that slips past (bit rot, truncation by other tools) is
+// caught there.
+func WriteFile(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("layout: create temp: %w", err)
+	}
+	tmp := f.Name()
+	// CreateTemp's 0600 would stick after the rename; match the 0644 an
+	// os.WriteFile of an image would have produced (modulo umask-free
+	// chmod semantics — image files are world-readable artifacts).
+	_ = f.Chmod(0o644)
+	// Until the rename happens the temp file is garbage; remove it on
+	// any failure (best-effort — a crash leaves it behind, which is
+	// exactly the state the failpoint below simulates).
+	keepTmp := false
+	defer func() {
+		if err != nil && !keepTmp {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("layout: write %s: %w", tmp, err)
+	}
+	if faultinject.Enabled {
+		// Failpoint: an error here simulates a crash after the bytes
+		// reached the temp file but before fsync/rename — the window in
+		// which a non-atomic writer would have torn the target. The
+		// callback receives the *os.File and may truncate or scribble
+		// first. The temp file is deliberately left behind, as a real
+		// crash would leave it.
+		if ferr := faultinject.FireErr(faultinject.LayoutWrite, f); ferr != nil {
+			keepTmp = true
+			f.Close()
+			return fmt.Errorf("layout: write %s: %w", tmp, ferr)
+		}
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("layout: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("layout: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("layout: rename %s: %w", tmp, err)
+	}
+	// fsync the directory so the rename (the commit point) is durable;
+	// without it a power cut can roll back to the old file — acceptable
+	// — or, on some filesystems, to a zero-length new one — not.
+	if d, derr := os.Open(dir); derr == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("layout: fsync dir %s: %w", dir, syncErr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+//go:build faultinject
+
+package layout
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// A crash injected between write and fsync/rename must never leave a
+// file at the target path that Open accepts — the acceptance criterion
+// for crash-safe persistence.
+func TestWriteFileCrashLeavesNoTornImage(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.sfn")
+	img := testBloomier(t, 64).Bytes()
+
+	crash := errors.New("injected crash")
+	faultinject.Arm(faultinject.LayoutWrite, faultinject.FailFirst(1, crash))
+
+	err := WriteFile(path, img)
+	if !errors.Is(err, crash) {
+		t.Fatalf("WriteFile = %v, want the injected crash", err)
+	}
+	// The target path must not exist: the rename never happened.
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target file exists after injected crash (stat err %v)", serr)
+	}
+	// The leftover temp file — what a real crash leaves — must exist
+	// and must NOT be something Open would serve: the temp name never
+	// matches the image path a reader opens, and even read directly it
+	// is only accepted if it is a complete image (here it is, but only
+	// because the injected crash hit after the full write; truncate it
+	// to model a mid-write crash and verify rejection).
+	ents, err2 := os.ReadDir(dir)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	var tmp string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			tmp = filepath.Join(dir, e.Name())
+		}
+	}
+	if tmp == "" {
+		t.Fatal("no leftover temp file after injected crash")
+	}
+	if terr := os.Truncate(tmp, int64(len(img)/2)); terr != nil {
+		t.Fatal(terr)
+	}
+	torn, rerr := os.ReadFile(tmp)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if _, oerr := Open(Aligned(torn)); !errors.Is(oerr, ErrBadImage) {
+		t.Errorf("Open accepted a torn temp image: %v", oerr)
+	}
+}
+
+// A callback that scribbles on the temp file before failing models a
+// crash mid-write; the half-written bytes must be rejected by Open.
+func TestWriteFileScribbledTempIsRejected(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.sfn")
+	img := testMPHF(t, 64).Bytes()
+
+	crash := errors.New("injected torn write")
+	faultinject.Arm(faultinject.LayoutWrite, func(hit int64, arg any) error {
+		f := arg.(*os.File)
+		// Flip bytes in the middle of the payload, as a torn page would.
+		if _, err := f.WriteAt([]byte{0xff, 0x00, 0xff, 0x00}, int64(len(img)/2)); err != nil {
+			t.Fatal(err)
+		}
+		return crash
+	})
+
+	if err := WriteFile(path, img); !errors.Is(err, crash) {
+		t.Fatalf("WriteFile = %v, want injected error", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatal("target file exists after injected torn write")
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, e.Name()))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if _, oerr := Open(Aligned(data)); oerr == nil {
+			t.Error("Open accepted the scribbled temp image")
+		}
+	}
+}
+
+// Without an armed failpoint the tagged build behaves exactly like the
+// production one.
+func TestWriteFileUnarmedSucceeds(t *testing.T) {
+	faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "ok.sfn")
+	img := testBloomier(t, 32).Bytes()
+	if err := WriteFile(path, img); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Aligned(data)); err != nil {
+		t.Fatal(err)
+	}
+}

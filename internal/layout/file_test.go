@@ -1,0 +1,60 @@
+package layout
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	im := testBloomier(t, 64)
+	path := filepath.Join(t.TempDir(), "table.sfn")
+	if err := WriteFile(path, im.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, im.Bytes()) {
+		t.Fatal("file content differs from the written image")
+	}
+	if _, err := Open(Aligned(data)); err != nil {
+		t.Fatalf("Open rejected a WriteFile image: %v", err)
+	}
+	// No temp files left behind on success.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("directory holds %d entries after WriteFile, want 1", len(ents))
+	}
+}
+
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.sfn")
+	old := testBloomier(t, 32).Bytes()
+	if err := WriteFile(path, old); err != nil {
+		t.Fatal(err)
+	}
+	im2 := testMPHF(t, 48)
+	if err := WriteFile(path, im2.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, im2.Bytes()) {
+		t.Fatal("overwrite did not replace the file content")
+	}
+}
+
+func TestWriteFileBadDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.sfn"), []byte("data"))
+	if err == nil {
+		t.Fatal("WriteFile into a missing directory succeeded")
+	}
+}

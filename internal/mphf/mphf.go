@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hypergraph"
 	"repro/internal/layout"
 	"repro/internal/parallel"
@@ -129,6 +130,15 @@ func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, ma
 		im, left, err := buildAttempt(ctx, keys, attemptSeed, hseed, m, subSize, pool)
 		if err != nil {
 			return nil, err
+		}
+		if faultinject.Enabled {
+			// Failpoint: setting the *bool forces this attempt to report
+			// a non-empty 2-core, as an unlucky seed would.
+			forceFail := false
+			faultinject.Fire(faultinject.MPHFAttempt, &forceFail)
+			if forceFail {
+				im, left = nil, len(keys)
+			}
 		}
 		if im != nil {
 			return &MPHF{im: im}, nil

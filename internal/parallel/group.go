@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -94,7 +95,10 @@ func (g *Group) GoCtx(ctx context.Context, job func(ctx context.Context, pool *P
 }
 
 // spawn runs fn as an admitted pool job on a fresh goroutine, releasing
-// the Group's semaphore slot and recording the first error.
+// the Group's semaphore slot and recording the first error. A panic in
+// the job is recovered at this boundary and recorded as ErrJobPanicked
+// (and counted in the pool's JobsPanicked), so one poisoned job cannot
+// kill the process or wedge the Group's Wait; sibling jobs run on.
 func (g *Group) spawn(fn func() error) {
 	g.wg.Add(1)
 	go func() {
@@ -105,7 +109,10 @@ func (g *Group) spawn(fn func() error) {
 		exit, err := g.pool.Enter()
 		if err == nil {
 			defer exit()
-			err = fn()
+			err = recoverJob(fn)
+			if errors.Is(err, ErrJobPanicked) {
+				g.pool.NotePanicked()
+			}
 		}
 		if err != nil {
 			g.mu.Lock()

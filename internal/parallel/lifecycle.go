@@ -59,6 +59,12 @@ func IsCancellation(err error) bool {
 // JobsRejected alongside the pool's own Enter rejections.
 func (p *Pool) NoteRejected() { p.jobsRejected.Add(1) }
 
+// NotePanicked records a job that died to a recovered panic (the
+// serving layer calls it when a job's error matches ErrJobPanicked);
+// surfaced in Stats as JobsPanicked. Group jobs are counted
+// automatically.
+func (p *Pool) NotePanicked() { p.jobsPanicked.Add(1) }
+
 // Shutdown gracefully drains the pool: it atomically stops admission
 // (subsequent Enter calls return ErrClosed), waits for every admitted
 // job to finish — jobs keep their full parallelism while draining — and
@@ -148,6 +154,11 @@ type Stats struct {
 	JobsAdmitted int64
 	JobsRejected int64
 	JobsCanceled int64
+	// JobsPanicked counts jobs that died to a panic recovered at a
+	// chunk or job boundary (ErrJobPanicked). The pool itself survives
+	// a panicked job; a nonzero rate here is an application bug to
+	// chase with the stack carried by the PanicError.
+	JobsPanicked int64
 }
 
 // Stats returns a point-in-time snapshot of the pool's counters. The
@@ -162,6 +173,7 @@ func (p *Pool) Stats() Stats {
 		JobsAdmitted: p.jobsAdmitted.Load(),
 		JobsRejected: p.jobsRejected.Load(),
 		JobsCanceled: p.jobsCanceled.Load(),
+		JobsPanicked: p.jobsPanicked.Load(),
 	}
 	for _, ch := range p.chans {
 		s.QueueDepth += len(ch)
@@ -178,16 +190,24 @@ func (p *Pool) Stats() Stats {
 // (possibly) only partially processed — callers treat their output as
 // abandoned. Contexts that can never be canceled take a fast path
 // identical to For.
+// A panic inside fn is recovered at the chunk boundary and returned as
+// a *PanicError (matching ErrJobPanicked) instead of being re-raised —
+// the error-first spelling of For's panic isolation; it takes
+// precedence over a concurrent cancellation.
 func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(w, lo, hi int)) error {
 	done := ctx.Done()
 	if done == nil {
-		p.For(n, grain, fn)
+		if pe := p.forOn(nil, n, grain, fn); pe != nil {
+			return pe
+		}
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	p.forOn(done, n, grain, fn)
+	if pe := p.forOn(done, n, grain, fn); pe != nil {
+		return pe
+	}
 	return ctx.Err()
 }
 
@@ -196,12 +216,16 @@ func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(w, lo, hi int))
 func (p *Pool) RunRangesCtx(ctx context.Context, n, pieces int, fn func(i, lo, hi int)) error {
 	done := ctx.Done()
 	if done == nil {
-		p.RunRanges(n, pieces, fn)
+		if pe := p.runRangesOn(nil, n, pieces, fn); pe != nil {
+			return pe
+		}
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	p.runRangesOn(done, n, pieces, fn)
+	if pe := p.runRangesOn(done, n, pieces, fn); pe != nil {
+		return pe
+	}
 	return ctx.Err()
 }

@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrJobPanicked is the sentinel matched (with errors.Is) by every
+// panic a pool barrier or job boundary converted into an error. The
+// concrete error is always a *PanicError carrying the recovered value
+// and the panicking goroutine's stack.
+var ErrJobPanicked = errors.New("parallel: job panicked")
+
+// PanicError is a panic recovered at a chunk or job boundary: the pool
+// completes the barrier (sibling workers and waiters never hang, the
+// helpers stay healthy for subsequent jobs) and delivers the panic to
+// the submitting side as this error. errors.Is(err, ErrJobPanicked)
+// matches it; if the panic value was itself an error, Unwrap exposes it
+// too.
+type PanicError struct {
+	value any
+	stack []byte
+}
+
+// NewPanicError wraps a value recovered from a panic, capturing the
+// current stack. Call it inside the deferred recover so the captured
+// stack still contains the panicking frames. A value that already is a
+// *PanicError (a panic re-raised across a nested barrier) is returned
+// unchanged, keeping the original stack.
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{value: v, stack: debug.Stack()}
+}
+
+// Error includes the panic value; the full stack is available from
+// Stack for logs and crash reports.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job panicked: %v", e.value)
+}
+
+// Value returns the recovered panic value.
+func (e *PanicError) Value() any { return e.value }
+
+// Stack returns the stack captured at the recovery point, which
+// includes the panicking frames.
+func (e *PanicError) Stack() []byte { return e.stack }
+
+// Is matches ErrJobPanicked.
+func (e *PanicError) Is(target error) bool { return target == ErrJobPanicked }
+
+// Unwrap exposes the panic value when it was an error (e.g. a
+// panic(err) deep in caller code), so errors.Is/As keep working
+// through the panic boundary. Non-error panic values unwrap to nil.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverJob converts a panicking fn into a *PanicError — the shared
+// job-boundary recovery used by Group and the repro Runtime. The
+// returned error is nil when fn returns normally.
+func recoverJob(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = NewPanicError(v)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,238 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recoverPanicError runs fn and returns the *PanicError it re-panics
+// with (nil if fn returned normally).
+func recoverPanicError(fn func()) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			var ok bool
+			if pe, ok = v.(*PanicError); !ok {
+				panic(v)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestForPanicIsRecoveredAndReRaised(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	pe := recoverPanicError(func() {
+		p.For(10000, 64, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 7777 {
+					panic("boom at 7777")
+				}
+			}
+		})
+	})
+	if pe == nil {
+		t.Fatal("panicking For returned normally")
+	}
+	if !errors.Is(pe, ErrJobPanicked) {
+		t.Errorf("errors.Is(pe, ErrJobPanicked) = false")
+	}
+	if pe.Value() != "boom at 7777" {
+		t.Errorf("panic value = %v, want boom at 7777", pe.Value())
+	}
+	if !strings.Contains(string(pe.Stack()), "panic_test.go") {
+		t.Errorf("captured stack does not contain the panicking frame:\n%s", pe.Stack())
+	}
+
+	// The barrier completed and the pool is healthy: a subsequent For
+	// must run every chunk.
+	var ran atomic.Int64
+	p.For(1000, 16, func(_, lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 1000 {
+		t.Errorf("pool after panic ran %d of 1000 iterations", ran.Load())
+	}
+}
+
+func TestForCtxPanicReturnsError(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	sentinel := errors.New("inner failure")
+	err := p.ForCtx(context.Background(), 1000, 32, func(_, lo, hi int) {
+		if lo == 0 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(err, ErrJobPanicked) {
+		t.Fatalf("ForCtx error = %v, want ErrJobPanicked", err)
+	}
+	// A panic(err) unwraps to the original error through the boundary.
+	if !errors.Is(err, sentinel) {
+		t.Errorf("ForCtx error does not unwrap to the panic value error")
+	}
+}
+
+func TestForCtxPanicBeatsCancellation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	err := p.ForCtx(ctx, 1000, 32, func(_, lo, hi int) {
+		cancel()
+		panic("panic after cancel")
+	})
+	if !errors.Is(err, ErrJobPanicked) {
+		t.Errorf("ForCtx = %v, want the panic error to take precedence over ctx.Err()", err)
+	}
+}
+
+func TestRunRangesPanicIsRecovered(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	pe := recoverPanicError(func() {
+		p.RunRanges(100, 8, func(i, lo, hi int) {
+			if i == 3 {
+				panic(fmt.Sprintf("piece %d", i))
+			}
+		})
+	})
+	if pe == nil || pe.Value() != "piece 3" {
+		t.Fatalf("RunRanges panic = %v, want piece 3", pe)
+	}
+}
+
+func TestSerialPoolPanicIsRecovered(t *testing.T) {
+	// Workers == 1 takes the serial path; the contract must match.
+	p := NewPool(1)
+	defer p.Close()
+	pe := recoverPanicError(func() {
+		p.For(100, 10, func(_, lo, hi int) { panic("serial boom") })
+	})
+	if pe == nil || pe.Value() != "serial boom" {
+		t.Fatalf("serial For panic = %v, want serial boom", pe)
+	}
+}
+
+func TestNestedForPanicKeepsOriginalStack(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	pe := recoverPanicError(func() {
+		p.For(4, 1, func(_, lo, hi int) {
+			p.For(4, 1, func(_, lo2, hi2 int) {
+				if lo2 == 0 {
+					panic("deep boom")
+				}
+			})
+		})
+	})
+	if pe == nil {
+		t.Fatal("nested panic not propagated")
+	}
+	// The inner *PanicError must cross the outer barrier unchanged, not
+	// be double-wrapped.
+	if pe.Value() != "deep boom" {
+		t.Errorf("nested panic value = %v (double-wrapped?)", pe.Value())
+	}
+}
+
+func TestGroupJobPanicIsIsolated(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	g := p.NewGroup(0)
+
+	var completed atomic.Int64
+	g.Go(func(pool *Pool) error {
+		panic("job boom")
+	})
+	for i := 0; i < 8; i++ {
+		g.Go(func(pool *Pool) error {
+			var n atomic.Int64
+			pool.For(1000, 32, func(_, lo, hi int) { n.Add(int64(hi - lo)) })
+			if n.Load() != 1000 {
+				return fmt.Errorf("sibling ran %d of 1000", n.Load())
+			}
+			completed.Add(1)
+			return nil
+		})
+	}
+	err := g.Wait()
+	if !errors.Is(err, ErrJobPanicked) {
+		t.Fatalf("Group error = %v, want ErrJobPanicked", err)
+	}
+	if completed.Load() != 8 {
+		t.Errorf("only %d of 8 sibling jobs completed", completed.Load())
+	}
+	if got := p.Stats().JobsPanicked; got != 1 {
+		t.Errorf("JobsPanicked = %d, want 1", got)
+	}
+}
+
+// The acceptance scenario: a poisoned job returns ErrJobPanicked while
+// concurrent jobs on the same pool complete correctly, no goroutine is
+// leaked, and the pool then serves 100 subsequent jobs. Run with -race.
+func TestPanickedJobDoesNotPoisonConcurrentJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(8)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for j := 0; j < 6; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = p.ForCtx(context.Background(), 20000, 64, func(_, lo, hi int) {
+				if j == 0 && lo <= 10000 && 10000 < hi {
+					panic("poisoned job")
+				}
+				for i := lo; i < hi; i++ {
+					_ = i * i
+				}
+			})
+		}(j)
+	}
+	wg.Wait()
+
+	if !errors.Is(errs[0], ErrJobPanicked) {
+		t.Fatalf("poisoned job error = %v, want ErrJobPanicked", errs[0])
+	}
+	for j := 1; j < 6; j++ {
+		if errs[j] != nil {
+			t.Errorf("concurrent job %d failed: %v", j, errs[j])
+		}
+	}
+
+	// 100 subsequent jobs all run to completion.
+	for i := 0; i < 100; i++ {
+		var n atomic.Int64
+		p.For(500, 16, func(_, lo, hi int) { n.Add(int64(hi - lo)) })
+		if n.Load() != 500 {
+			t.Fatalf("job %d after panic ran %d of 500", i, n.Load())
+		}
+	}
+
+	p.Close()
+	// The pool's helpers must be gone: no goroutine leak from the
+	// panicked barrier. Allow scheduler noise.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines: %d before, %d after shutdown (leak?)", before, g)
+	}
+}
+
+func TestNewPanicErrorPassthrough(t *testing.T) {
+	orig := NewPanicError("x")
+	if again := NewPanicError(orig); again != orig {
+		t.Error("NewPanicError re-wrapped an existing *PanicError")
+	}
+}

@@ -3,6 +3,8 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Pool is a fixed set of persistent worker goroutines that execute
@@ -72,6 +74,7 @@ type Pool struct {
 	jobsAdmitted atomic.Int64
 	jobsRejected atomic.Int64
 	jobsCanceled atomic.Int64
+	jobsPanicked atomic.Int64
 }
 
 type batch struct {
@@ -103,12 +106,24 @@ func NewPool(workers int) *Pool {
 		go func() {
 			for b := range ch {
 				p.busyHelpers.Add(1)
-				b.fn(w)
+				runBatch(b.fn, w)
 				p.busyHelpers.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// runBatch executes one dispatched batch on a helper, recovering any
+// panic that escapes it. Chunk panics are already recovered inside the
+// claim loop (with their barrier counts honored), so a panic reaching
+// here is a pool bug — but an unrecovered panic on a helper goroutine
+// would kill the whole process, so the helper swallows it and survives
+// for subsequent jobs. The affected barrier may then be missing
+// completions; that failure stays confined to its own job.
+func runBatch(fn func(w int), w int) {
+	defer func() { _ = recover() }()
+	fn(w)
 }
 
 // Workers returns the pool size (the number of distinct worker IDs).
@@ -126,11 +141,14 @@ func (p *Pool) Run(fn func(w int)) {
 		fn(0)
 		return
 	}
-	p.forOn(nil, p.workers, 1, func(_, lo, hi int) {
+	pe := p.forOn(nil, p.workers, 1, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
 			fn(w)
 		}
 	})
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // For executes fn over [0, n) in chunks of at most grain indices, in
@@ -144,24 +162,38 @@ func (p *Pool) Run(fn func(w int)) {
 // still in chunks of at most grain — with w = 0. Nested calls (For from
 // inside a batch function) and post-shutdown calls are safe: the claim
 // barrier guarantees the submitter can always finish the range itself.
+//
+// A panic inside fn is recovered at the chunk boundary: the remaining
+// chunks are skipped, the barrier completes normally (sibling workers
+// and concurrent jobs are unaffected, and the pool's helpers stay
+// healthy), and For re-raises the panic on the calling goroutine as a
+// *PanicError carrying the original value and stack. Job boundaries
+// (Group, the repro Runtime) convert that into ErrJobPanicked; use
+// ForCtx to receive it as an error directly.
 func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {
-	p.forOn(nil, n, grain, fn)
+	if pe := p.forOn(nil, n, grain, fn); pe != nil {
+		panic(pe)
+	}
 }
 
 // forOn is the shared claim-based For implementation: when done is
 // non-nil, workers stop executing chunks once it is closed (see ForCtx);
 // remaining chunks are still claimed (cheap atomic fast-forward) so the
-// completion barrier terminates.
-func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
+// completion barrier terminates. A panicking chunk is recovered and
+// returned as the first *PanicError; the same fast-forward drains the
+// rest of the range, so the barrier always completes.
+func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) *PanicError {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.PoolBarrier, n)
 	}
 	if grain <= 0 {
 		grain = n/(p.workers*4) + 1
 	}
 	if p.workers == 1 || n <= grain {
-		forSerial(done, n, grain, fn)
-		return
+		return forSerial(done, n, grain, fn)
 	}
 	// Wake only as many helpers as there are chunks beyond the caller's
 	// own: tail rounds with a handful of chunks shouldn't pay W sends.
@@ -180,6 +212,10 @@ func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(nChunks)
+	// First recovered panic of the barrier; once set, workers stop
+	// executing chunks (the job is poisoned) but keep claiming them, so
+	// wg still reaches zero and no waiter hangs.
+	var panicked atomic.Pointer[PanicError]
 	loop := func(w int) {
 		canceled := false
 		for {
@@ -198,8 +234,10 @@ func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int))
 			if end > n {
 				end = n
 			}
-			if !canceled {
-				fn(w, start, end)
+			if !canceled && panicked.Load() == nil {
+				if pe := runChunk(w, start, end, fn); pe != nil {
+					panicked.CompareAndSwap(nil, pe)
+				}
 			}
 			wg.Done()
 		}
@@ -207,6 +245,25 @@ func (p *Pool) forOn(done <-chan struct{}, n, grain int, fn func(w, lo, hi int))
 	p.dispatch(helpers, loop)
 	loop(0)
 	wg.Wait()
+	return panicked.Load()
+}
+
+// runChunk executes one claimed chunk, converting a panic in fn into a
+// *PanicError (capturing the panicking stack) instead of letting it
+// unwind the worker — the chunk-boundary half of the pool's panic
+// isolation. The claim loop still calls wg.Done for the chunk, so the
+// barrier completes no matter which worker the panic landed on.
+func runChunk(w, lo, hi int, fn func(w, lo, hi int)) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = NewPanicError(v)
+		}
+	}()
+	if faultinject.Enabled {
+		faultinject.Fire(faultinject.PoolChunk, lo)
+	}
+	fn(w, lo, hi)
+	return nil
 }
 
 // dispatch offers the batch to up to `helpers` distinct helper channels,
@@ -235,13 +292,15 @@ func (p *Pool) dispatch(helpers int, fn func(w int)) {
 	p.senders.Add(-1)
 }
 
-// forSerial is the inline path: worker 0, chunks of at most grain.
-func forSerial(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
+// forSerial is the inline path: worker 0, chunks of at most grain, with
+// the same chunk-boundary panic recovery as the parallel path so For
+// behaves identically at every pool size.
+func forSerial(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) *PanicError {
 	for lo := 0; lo < n; lo += grain {
 		if done != nil {
 			select {
 			case <-done:
-				return
+				return nil
 			default:
 			}
 		}
@@ -249,8 +308,11 @@ func forSerial(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
-		fn(0, lo, hi)
+		if pe := runChunk(0, lo, hi, fn); pe != nil {
+			return pe
+		}
 	}
+	return nil
 }
 
 // RunRanges splits [0, n) into pieces contiguous ranges of near-equal
@@ -265,23 +327,25 @@ func forSerial(done <-chan struct{}, n, grain int, fn func(w, lo, hi int)) {
 // call distinct pieces may run concurrently, so fn must only touch
 // piece-local or disjoint state.
 func (p *Pool) RunRanges(n, pieces int, fn func(i, lo, hi int)) {
-	p.runRangesOn(nil, n, pieces, fn)
+	if pe := p.runRangesOn(nil, n, pieces, fn); pe != nil {
+		panic(pe)
+	}
 }
 
 // runRangesOn is the shared RunRanges implementation; done is the
-// cancellation channel (see RunRangesCtx).
-func (p *Pool) runRangesOn(done <-chan struct{}, n, pieces int, fn func(i, lo, hi int)) {
+// cancellation channel (see RunRangesCtx) and a panicking piece is
+// recovered and returned like forOn's chunks.
+func (p *Pool) runRangesOn(done <-chan struct{}, n, pieces int, fn func(i, lo, hi int)) *PanicError {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if pieces <= 0 {
 		pieces = p.workers
 	}
 	if pieces == 1 {
-		fn(0, 0, n)
-		return
+		return runChunk(0, 0, n, func(_, lo, hi int) { fn(0, lo, hi) })
 	}
-	p.forOn(done, pieces, 1, func(_, plo, phi int) {
+	return p.forOn(done, pieces, 1, func(_, plo, phi int) {
 		for i := plo; i < phi; i++ {
 			fn(i, i*n/pieces, (i+1)*n/pieces)
 		}

@@ -45,12 +45,6 @@ func (p Params) Validate() error {
 	return nil
 }
 
-func (p Params) mustValidate() {
-	if err := p.Validate(); err != nil {
-		panic(err)
-	}
-}
-
 // Step holds the idealized state after one peeling round.
 type Step struct {
 	Round  int     // 1-based round index
@@ -69,8 +63,12 @@ func (p Params) NextBeta(beta float64) float64 {
 // Trace iterates the recurrence for tmax rounds and returns one Step per
 // round, starting with round 1 (β_1 = rc). λ_t·n is the paper's Table 2
 // "Prediction" column for the number of unpeeled vertices after t rounds.
-func (p Params) Trace(tmax int) []Step {
-	p.mustValidate()
+// Parameters outside the paper's scope are reported as an error (see
+// Validate), never a panic — this is a library path.
+func (p Params) Trace(tmax int) ([]Step, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	steps := make([]Step, 0, tmax)
 	beta := float64(p.R) * p.C
 	for t := 1; t <= tmax; t++ {
@@ -79,34 +77,43 @@ func (p Params) Trace(tmax int) []Step {
 		steps = append(steps, Step{Round: t, Beta: beta, Rho: rho, Lambda: lambda})
 		beta = math.Pow(rho, float64(p.R-1)) * float64(p.R) * p.C
 	}
-	return steps
+	return steps, nil
 }
 
 // Lambda returns λ_t for a single round t >= 1 (λ_0 = 1 for t <= 0).
-func (p Params) Lambda(t int) float64 {
+func (p Params) Lambda(t int) (float64, error) {
 	if t <= 0 {
-		return 1
+		if err := p.Validate(); err != nil {
+			return 0, err
+		}
+		return 1, nil
 	}
-	steps := p.Trace(t)
-	return steps[len(steps)-1].Lambda
+	steps, err := p.Trace(t)
+	if err != nil {
+		return 0, err
+	}
+	return steps[len(steps)-1].Lambda, nil
 }
 
 // PredictRounds returns the idealized round count at which peeling of an
 // n-vertex instance completes: the smallest t with λ_t·n < 1/2, i.e. the
 // first round after which the expected survivor count drops below one
 // half. maxRounds caps the search; if the recurrence stalls above the
-// threshold the cap is returned along with ok = false.
-func (p Params) PredictRounds(n float64, maxRounds int) (rounds int, ok bool) {
-	p.mustValidate()
+// threshold the cap is returned along with ok = false. Parameters
+// outside the paper's scope are reported as an error.
+func (p Params) PredictRounds(n float64, maxRounds int) (rounds int, ok bool, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, false, err
+	}
 	beta := float64(p.R) * p.C
 	for t := 1; t <= maxRounds; t++ {
 		lambda := poisson.Tail(p.K, beta)
 		if lambda*n < 0.5 {
-			return t, true
+			return t, true, nil
 		}
 		beta = p.NextBeta(beta)
 	}
-	return maxRounds, false
+	return maxRounds, false, nil
 }
 
 // RoundsUntilBetaBelow returns the number of rounds before β_i drops below
@@ -114,41 +121,49 @@ func (p Params) PredictRounds(n float64, maxRounds int) (rounds int, ok bool) {
 // is Θ(√(1/ν)) for τ fixed below x*, after which β collapses doubly
 // exponentially. Returns maxRounds, false if the cap is hit (e.g. above
 // the threshold, where β never falls below a positive fixed point).
-func (p Params) RoundsUntilBetaBelow(tau float64, maxRounds int) (rounds int, ok bool) {
-	p.mustValidate()
+func (p Params) RoundsUntilBetaBelow(tau float64, maxRounds int) (rounds int, ok bool, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, false, err
+	}
 	beta := float64(p.R) * p.C
 	for t := 1; t <= maxRounds; t++ {
 		if beta < tau {
-			return t, true
+			return t, true, nil
 		}
 		beta = p.NextBeta(beta)
 	}
-	return maxRounds, false
+	return maxRounds, false, nil
 }
 
 // BetaTrace returns β_1..β_tmax, the series plotted in Figure 1 of the
 // paper for densities just below the threshold (showing the Θ(√(1/ν))
 // plateau near x*).
-func (p Params) BetaTrace(tmax int) []float64 {
-	p.mustValidate()
+func (p Params) BetaTrace(tmax int) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, tmax)
 	beta := float64(p.R) * p.C
 	for t := 0; t < tmax; t++ {
 		out[t] = beta
 		beta = p.NextBeta(beta)
 	}
-	return out
+	return out, nil
 }
 
 // TheoreticalRounds returns the Theorem 1 leading term
 // (1/log((k-1)(r-1))) · log log n. The O(1) additive term is not modeled.
-// Panics for k = r = 2.
-func (p Params) TheoreticalRounds(n float64) float64 {
+// The constant is undefined for k = r = 2 (the case Theorem 1 excludes),
+// reported as an error.
+func (p Params) TheoreticalRounds(n float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
 	prod := float64((p.K - 1) * (p.R - 1))
 	if prod <= 1 {
-		panic("recurrence: Theorem 1 constant undefined for k = r = 2")
+		return 0, fmt.Errorf("recurrence: Theorem 1 constant undefined for k=%d r=%d", p.K, p.R)
 	}
-	return math.Log(math.Log(n)) / math.Log(prod)
+	return math.Log(math.Log(n)) / math.Log(prod), nil
 }
 
 // SubtableStep holds the idealized state after one subround (i, j) of the
@@ -165,8 +180,10 @@ type SubtableStep struct {
 // SubtableTrace iterates the Appendix B recurrence for rounds full rounds
 // (r subrounds each) and returns one SubtableStep per subround in
 // execution order. λ′_{i,j}·n is the paper's Table 6 "Prediction" column.
-func (p Params) SubtableTrace(rounds int) []SubtableStep {
-	p.mustValidate()
+func (p Params) SubtableTrace(rounds int) ([]SubtableStep, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	r := p.R
 	rc := float64(r) * p.C
 	rhoPrev := make([]float64, r) // ρ_{i-1,h}, 1 for round 0
@@ -205,21 +222,24 @@ func (p Params) SubtableTrace(rounds int) []SubtableStep {
 		copy(rhoPrev, rhoCur)
 		copy(lambdaPrev, lambdaCur)
 	}
-	return steps
+	return steps, nil
 }
 
 // PredictSubrounds returns the idealized subround count at which subtable
 // peeling of an n-vertex instance completes: the smallest subround index
 // (counted across rounds, r per round) after which the expected number of
 // surviving vertices λ′·n drops below 1/2.
-func (p Params) PredictSubrounds(n float64, maxRounds int) (subrounds int, ok bool) {
-	steps := p.SubtableTrace(maxRounds)
+func (p Params) PredictSubrounds(n float64, maxRounds int) (subrounds int, ok bool, err error) {
+	steps, err := p.SubtableTrace(maxRounds)
+	if err != nil {
+		return 0, false, err
+	}
 	for idx, s := range steps {
 		if s.MixedFra*n < 0.5 {
-			return idx + 1, true
+			return idx + 1, true, nil
 		}
 	}
-	return len(steps), false
+	return len(steps), false, nil
 }
 
 // SubtableTheoreticalSubrounds returns the Theorem 4 leading term

@@ -8,6 +8,25 @@ import (
 	"repro/internal/threshold"
 )
 
+// must unwraps a (value, error) pair for the valid hardcoded Params the
+// tests use throughout; an error here is a broken test table, so it
+// panics (failing the test with the validation message).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// predict unwraps PredictRounds / RoundsUntilBetaBelow /
+// PredictSubrounds results the same way.
+func predict(rounds int, ok bool, err error) (int, bool) {
+	if err != nil {
+		panic(err)
+	}
+	return rounds, ok
+}
+
 // Table 2 of the paper, left column: idealized predictions λ_t·10⁶ for
 // r=4, k=2, c=0.7. The t=13 entry is 0.00001 and later entries are 0.
 var table2C070 = []float64{
@@ -24,7 +43,7 @@ var table2C085 = []float64{
 
 func TestTraceMatchesTable2Below(t *testing.T) {
 	p := Params{K: 2, R: 4, C: 0.7}
-	steps := p.Trace(20)
+	steps := must(p.Trace(20))
 	for i, want := range table2C070 {
 		got := steps[i].Lambda * 1e6
 		// The paper prints rounded integers; allow 0.6 absolute slack
@@ -46,7 +65,7 @@ func TestTraceMatchesTable2Below(t *testing.T) {
 
 func TestTraceMatchesTable2Above(t *testing.T) {
 	p := Params{K: 2, R: 4, C: 0.85}
-	steps := p.Trace(20)
+	steps := must(p.Trace(20))
 	for i, want := range table2C085 {
 		got := steps[i].Lambda * 1e6
 		if math.Abs(got-want) > 0.6+1e-5*want {
@@ -58,7 +77,7 @@ func TestTraceMatchesTable2Above(t *testing.T) {
 func TestLambdaMonotoneNonincreasing(t *testing.T) {
 	for _, c := range []float64{0.5, 0.7, 0.77, 0.85, 1.2} {
 		p := Params{K: 2, R: 4, C: c}
-		steps := p.Trace(60)
+		steps := must(p.Trace(60))
 		for i := 1; i < len(steps); i++ {
 			if steps[i].Lambda > steps[i-1].Lambda+1e-12 {
 				t.Errorf("c=%v: λ increased at round %d (%v -> %v)",
@@ -74,11 +93,11 @@ func TestLambdaMonotoneNonincreasing(t *testing.T) {
 func TestRegimeSplit(t *testing.T) {
 	// Below threshold λ -> 0; above threshold λ -> CoreFraction > 0.
 	below := Params{K: 2, R: 4, C: 0.7}
-	if l := below.Lambda(60); l > 1e-12 {
+	if l := must(below.Lambda(60)); l > 1e-12 {
 		t.Errorf("below threshold λ_60 = %g, want ~0", l)
 	}
 	above := Params{K: 2, R: 4, C: 0.85}
-	l := above.Lambda(200)
+	l := must(above.Lambda(200))
 	want := threshold.CoreFraction(2, 4, 0.85)
 	if math.Abs(l-want) > 1e-6 {
 		t.Errorf("above threshold λ_200 = %v, want core fraction %v", l, want)
@@ -90,13 +109,13 @@ func TestPredictRoundsMatchesTable1(t *testing.T) {
 	// n >= 160000, and at c=0.75 to ~23.3-23.8 for n up to 2.56M.
 	p := Params{K: 2, R: 4, C: 0.7}
 	for _, n := range []float64{160000, 320000, 1e6, 2.56e6} {
-		rounds, ok := p.PredictRounds(n, 100)
+		rounds, ok := predict(p.PredictRounds(n, 100))
 		if !ok || rounds != 13 {
 			t.Errorf("PredictRounds(c=0.7, n=%g) = %d (ok=%v), want 13", n, rounds, ok)
 		}
 	}
 	p = Params{K: 2, R: 4, C: 0.75}
-	rounds, ok := p.PredictRounds(1e6, 200)
+	rounds, ok := predict(p.PredictRounds(1e6, 200))
 	if !ok || rounds < 23 || rounds > 25 {
 		t.Errorf("PredictRounds(c=0.75, n=1e6) = %d (ok=%v), want ~23-25", rounds, ok)
 	}
@@ -104,7 +123,7 @@ func TestPredictRoundsMatchesTable1(t *testing.T) {
 
 func TestPredictRoundsAboveThresholdNeverFinishes(t *testing.T) {
 	p := Params{K: 2, R: 4, C: 0.85}
-	_, ok := p.PredictRounds(1e6, 500)
+	_, ok := predict(p.PredictRounds(1e6, 500))
 	if ok {
 		t.Error("PredictRounds above threshold claimed completion")
 	}
@@ -115,12 +134,12 @@ func TestPredictRoundsGrowthIsLogLog(t *testing.T) {
 	// Across n = 1e4 .. 1e12 the increase must track the theory within a
 	// small additive band.
 	p := Params{K: 2, R: 4, C: 0.5}
-	r1, ok1 := p.PredictRounds(1e4, 500)
-	r2, ok2 := p.PredictRounds(1e12, 500)
+	r1, ok1 := predict(p.PredictRounds(1e4, 500))
+	r2, ok2 := predict(p.PredictRounds(1e12, 500))
 	if !ok1 || !ok2 {
 		t.Fatal("prediction did not terminate below threshold")
 	}
-	wantDelta := p.TheoreticalRounds(1e12) - p.TheoreticalRounds(1e4)
+	wantDelta := must(p.TheoreticalRounds(1e12)) - must(p.TheoreticalRounds(1e4))
 	gotDelta := float64(r2 - r1)
 	if math.Abs(gotDelta-wantDelta) > 1.5 {
 		t.Errorf("round growth %v vs theory %v (r1=%d r2=%d)", gotDelta, wantDelta, r1, r2)
@@ -135,7 +154,7 @@ func TestRoundsUntilBetaBelowScalesAsSqrtInvNu(t *testing.T) {
 	counts := make([]float64, 0, 3)
 	for _, nu := range []float64{0.01, 0.0025, 0.000625} {
 		p := Params{K: 2, R: 4, C: cstar - nu}
-		r, ok := p.RoundsUntilBetaBelow(tau, 1<<20)
+		r, ok := predict(p.RoundsUntilBetaBelow(tau, 1<<20))
 		if !ok {
 			t.Fatalf("β never fell below τ at ν=%v", nu)
 		}
@@ -155,8 +174,8 @@ func TestBetaTracePlateau(t *testing.T) {
 	// plateau (≥ the trace for the farther density, pointwise in length).
 	pFar := Params{K: 2, R: 4, C: 0.77}
 	pNear := Params{K: 2, R: 4, C: 0.772}
-	far, okF := pFar.RoundsUntilBetaBelow(0.5, 100000)
-	near, okN := pNear.RoundsUntilBetaBelow(0.5, 100000)
+	far, okF := predict(pFar.RoundsUntilBetaBelow(0.5, 100000))
+	near, okN := predict(pNear.RoundsUntilBetaBelow(0.5, 100000))
 	if !okF || !okN {
 		t.Fatal("β did not collapse below threshold")
 	}
@@ -182,7 +201,7 @@ var table6Predictions = []float64{
 
 func TestSubtableTraceMatchesTable6(t *testing.T) {
 	p := Params{K: 2, R: 4, C: 0.7}
-	steps := p.SubtableTrace(7)
+	steps := must(p.SubtableTrace(7))
 	if len(steps) != 28 {
 		t.Fatalf("trace length %d, want 28", len(steps))
 	}
@@ -203,8 +222,8 @@ func TestSubtableFirstSubroundMatchesPlain(t *testing.T) {
 	// Subround (1,1) sees the untouched graph, so β_{1,1} = rc and
 	// λ_{1,1} equals the plain recurrence's λ_1.
 	p := Params{K: 2, R: 4, C: 0.7}
-	sub := p.SubtableTrace(1)
-	plain := p.Trace(1)
+	sub := must(p.SubtableTrace(1))
+	plain := must(p.Trace(1))
 	if math.Abs(sub[0].Beta-plain[0].Beta) > 1e-12 {
 		t.Errorf("β_{1,1} = %v, want %v", sub[0].Beta, plain[0].Beta)
 	}
@@ -215,7 +234,7 @@ func TestSubtableFirstSubroundMatchesPlain(t *testing.T) {
 
 func TestSubtableMixedFractionMonotone(t *testing.T) {
 	p := Params{K: 2, R: 4, C: 0.7}
-	steps := p.SubtableTrace(10)
+	steps := must(p.SubtableTrace(10))
 	for i := 1; i < len(steps); i++ {
 		if steps[i].MixedFra > steps[i-1].MixedFra+1e-12 {
 			t.Errorf("λ′ increased at subround %d", i)
@@ -228,11 +247,11 @@ func TestPredictSubroundsVsRounds(t *testing.T) {
 	// is ~26-27 versus 13 plain rounds — about a factor 2, and well below
 	// the naive factor r = 4.
 	p := Params{K: 2, R: 4, C: 0.7}
-	sub, ok := p.PredictSubrounds(1e6, 60)
+	sub, ok := predict(p.PredictSubrounds(1e6, 60))
 	if !ok {
 		t.Fatal("subtable prediction did not terminate")
 	}
-	plain, _ := p.PredictRounds(1e6, 60)
+	plain, _ := predict(p.PredictRounds(1e6, 60))
 	if sub < 24 || sub > 29 {
 		t.Errorf("predicted subrounds = %d, want ~26-27", sub)
 	}
@@ -248,7 +267,7 @@ func TestPredictSubroundsVsRounds(t *testing.T) {
 func TestPredictSubroundsC075(t *testing.T) {
 	// Table 5: c = 0.75 needs ~47.7-48.2 subrounds at large n.
 	p := Params{K: 2, R: 4, C: 0.75}
-	sub, ok := p.PredictSubrounds(1e6, 100)
+	sub, ok := predict(p.PredictSubrounds(1e6, 100))
 	if !ok {
 		t.Fatal("subtable prediction did not terminate")
 	}
@@ -282,12 +301,12 @@ func TestValidate(t *testing.T) {
 func TestHigherKR(t *testing.T) {
 	// k=3, r=3 below its threshold 1.553: recurrence must collapse.
 	p := Params{K: 3, R: 3, C: 1.4}
-	if l := p.Lambda(80); l > 1e-9 {
+	if l := must(p.Lambda(80)); l > 1e-9 {
 		t.Errorf("k=3 r=3 c=1.4: λ_80 = %g, want ~0", l)
 	}
 	// And above: stuck at a positive fraction.
 	p = Params{K: 3, R: 3, C: 1.65}
-	if l := p.Lambda(300); l < 0.1 {
+	if l := must(p.Lambda(300)); l < 0.1 {
 		t.Errorf("k=3 r=3 c=1.65: λ_300 = %g, want bounded away from 0", l)
 	}
 }

@@ -163,7 +163,9 @@ func CoreFraction(k, r int, c float64) float64 { return threshold.CoreFraction(k
 // PredictRounds returns the idealized number of parallel peeling rounds
 // for an n-vertex instance at parameters p, and whether the recurrence
 // terminates within maxRounds (it does not above the threshold).
-func PredictRounds(p RecurrenceParams, n float64, maxRounds int) (int, bool) {
+// Parameters outside the paper's scope (k or r < 2, negative density)
+// are reported as an error, never a panic.
+func PredictRounds(p RecurrenceParams, n float64, maxRounds int) (rounds int, ok bool, err error) {
 	return p.PredictRounds(n, maxRounds)
 }
 

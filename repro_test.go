@@ -31,9 +31,17 @@ func TestFacadeThreshold(t *testing.T) {
 }
 
 func TestFacadePredictRounds(t *testing.T) {
-	rounds, ok := PredictRounds(RecurrenceParams{K: 2, R: 4, C: 0.7}, 1e6, 50)
+	rounds, ok, err := PredictRounds(RecurrenceParams{K: 2, R: 4, C: 0.7}, 1e6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok || rounds != 13 {
 		t.Errorf("PredictRounds = (%d, %v), want (13, true)", rounds, ok)
+	}
+	// Out-of-scope parameters are an error, not a panic (this is the
+	// library path the robustness pass hardened).
+	if _, _, err := PredictRounds(RecurrenceParams{K: 1, R: 4, C: 0.7}, 1e6, 50); err == nil {
+		t.Error("PredictRounds(k=1) returned nil error, want validation error")
 	}
 }
 

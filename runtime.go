@@ -2,19 +2,118 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bloomier"
 	"repro/internal/core"
 	"repro/internal/iblt"
 	"repro/internal/mphf"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 )
 
 // ErrRuntimeClosed is returned for work submitted to a Runtime after
 // Shutdown began, and by the second and later Shutdown calls. It wraps
 // the pool-level sentinel, so errors.Is works against either.
 var ErrRuntimeClosed = parallel.ErrClosed
+
+// ErrJobPanicked is the sentinel matched (errors.Is) by jobs that died
+// to a panic recovered inside the Runtime: the pool recovers panics at
+// chunk boundaries (completing the round barrier so sibling workers and
+// concurrent jobs never hang) and the Runtime recovers them at the job
+// boundary, so a poisoned job surfaces as this error — carrying the
+// panic value and stack via *PanicError — instead of killing the
+// process. The pool stays healthy; subsequent jobs run normally.
+var ErrJobPanicked = parallel.ErrJobPanicked
+
+// PanicError is the concrete error behind ErrJobPanicked: the recovered
+// panic value plus the panicking goroutine's stack.
+type PanicError = parallel.PanicError
+
+// ErrReconcileIncomplete is the sentinel matched by Reconcile errors
+// when the difference table failed to decode completely — the
+// probabilistic failure mode headroom escalation (Policy) retries.
+var ErrReconcileIncomplete = iblt.ErrDecodeIncomplete
+
+// Policy is the Runtime's failure-handling policy: what happens when a
+// job runs long, when a probabilistic build lands above the 2-core
+// threshold, or when a reconciliation table fails to decode. The zero
+// Policy does nothing extra (no timeout, no retries) — the pre-policy
+// behavior. Policies are applied per Runtime handle (RuntimeOptions)
+// and overridden per call site with WithPolicy.
+type Policy struct {
+	// JobTimeout is a default per-job deadline: jobs whose caller ctx
+	// carries no earlier deadline are canceled (at their next round
+	// barrier) after this long, returning context.DeadlineExceeded.
+	// <= 0 means no default deadline. A caller deadline that is
+	// earlier always wins (the timeout never extends it).
+	JobTimeout time.Duration
+
+	// BuildRetries is how many extra whole-build attempts BuildMPHF /
+	// BuildStaticMap (and the Rebuild* wrappers) make after a build
+	// fails with a non-empty 2-core (ErrMPHFBuildFailed /
+	// ErrStaticMapBuildFailed). Each retry escalates to a jittered
+	// seed — Mix64 of the original seed and the retry index — so the
+	// retry's whole seed ladder is decorrelated from the failed one
+	// rather than walking the same sequence again. Non-probabilistic
+	// failures (duplicate keys, cancellation, panics) are never
+	// retried. 0 means fail on the first exhausted ladder.
+	BuildRetries int
+
+	// ReconcileRetries is how many extra attempts Reconcile makes when
+	// the difference table fails to decode (ErrReconcileIncomplete) —
+	// graceful degradation for an undersized estimate instead of a
+	// terminal error. Each retry escalates the headroom by
+	// HeadroomStep (capped at MaxHeadroom), oversizing the next
+	// difference table. 0 means fail on the first incomplete decode.
+	ReconcileRetries int
+
+	// HeadroomStep is the headroom added per Reconcile retry;
+	// <= 0 selects 0.25.
+	HeadroomStep float64
+
+	// MaxHeadroom caps the escalated headroom; <= 0 selects 4.0.
+	MaxHeadroom float64
+}
+
+func (p Policy) headroomStep() float64 {
+	if p.HeadroomStep > 0 {
+		return p.HeadroomStep
+	}
+	return 0.25
+}
+
+func (p Policy) maxHeadroom() float64 {
+	if p.MaxHeadroom > 0 {
+		return p.MaxHeadroom
+	}
+	return 4.0
+}
+
+// applyTimeout derives the job ctx under the policy's default deadline.
+// The returned cancel must always be called.
+func (p Policy) applyTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.JobTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		// The caller set an explicit deadline; respect it as-is (even
+		// if later than JobTimeout — an explicit deadline is a
+		// stronger statement than a handle-wide default).
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.JobTimeout)
+}
+
+// escalateSeed derives the jittered seed for build retry attempt
+// (1-based): a Mix64 of the original seed and the attempt index, so
+// each retry's 10-seed ladder is decorrelated from every other's.
+func escalateSeed(seed uint64, attempt int) uint64 {
+	return rng.Mix64(seed ^ uint64(attempt)*0xd1342543de82ef95)
+}
 
 // RuntimeOptions configure NewRuntime.
 type RuntimeOptions struct {
@@ -27,11 +126,41 @@ type RuntimeOptions struct {
 	// <= 0 means unbounded. A bound caps the per-job buffer memory and
 	// goroutine count of a server admitting unbounded requests.
 	MaxJobs int
+
+	// Policy is the Runtime's default failure-handling policy (timeouts
+	// and retries); override it per call site with WithPolicy. The zero
+	// Policy adds no timeout and no retries.
+	Policy Policy
 }
 
-// RuntimeStats is a snapshot of the Runtime's backpressure counters; see
-// parallel.Stats for field semantics.
-type RuntimeStats = parallel.Stats
+// RuntimeStats is a snapshot of the Runtime's backpressure and failure
+// counters: the shared pool's counters (see parallel.Stats) plus the
+// Runtime's own.
+type RuntimeStats struct {
+	parallel.Stats
+
+	// ShutdownErrors counts errors from the background pool release
+	// that finishes an expired-ctx Shutdown — e.g. the pool was already
+	// shut down underneath the Runtime. Always 0 for a Runtime whose
+	// Shutdown completed synchronously.
+	ShutdownErrors int64
+}
+
+// runtimeCore is the state shared by every handle onto one Runtime:
+// the pool, admission bookkeeping, and shutdown state. WithPolicy
+// returns a new *Runtime view over the same core, so policy overrides
+// never fork the admission or drain machinery.
+type runtimeCore struct {
+	pool *parallel.Pool
+	sem  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	active int           // admitted jobs currently running
+	idle   chan struct{} // created by Shutdown when it must wait; closed at active == 0
+
+	shutdownErrs atomic.Int64 // background pool-release failures (see Shutdown)
+}
 
 // Runtime is the serving handle for the peeling runtime: one persistent
 // worker pool, shared by any number of concurrent jobs, behind a
@@ -43,6 +172,13 @@ type RuntimeStats = parallel.Stats
 // many times, so a single check per barrier aborts a canceled job within
 // one round of extra work.
 //
+// Failure handling is policy-driven (Policy, WithPolicy): per-job
+// default timeouts, seed-escalating build retries, and headroom-
+// escalating reconcile retries. Panics inside a job are recovered at
+// the chunk and job boundaries and surfaced as ErrJobPanicked — one
+// poisoned request cannot kill the process, hang a barrier, or poison
+// the pool for its neighbors.
+//
 // A Runtime is safe for concurrent use. Shut it down with Shutdown,
 // which stops admission, drains in-flight jobs, and releases the
 // workers. Jobs whose context is canceled return ctx.Err() and are
@@ -52,23 +188,32 @@ type RuntimeStats = parallel.Stats
 //	defer rt.Shutdown(context.Background())
 //	res, err := rt.Decode(ctx, table)
 type Runtime struct {
-	pool *parallel.Pool
-	sem  chan struct{}
-
-	mu     sync.Mutex
-	closed bool
-	active int           // admitted jobs currently running
-	idle   chan struct{} // created by Shutdown when it must wait; closed at active == 0
+	core   *runtimeCore
+	policy Policy
 }
 
 // NewRuntime starts a Runtime with its own worker pool.
 func NewRuntime(opts RuntimeOptions) *Runtime {
-	rt := &Runtime{pool: parallel.NewPool(opts.Workers)}
+	rc := &runtimeCore{pool: parallel.NewPool(opts.Workers)}
 	if opts.MaxJobs > 0 {
-		rt.sem = make(chan struct{}, opts.MaxJobs)
+		rc.sem = make(chan struct{}, opts.MaxJobs)
 	}
-	return rt
+	return &Runtime{core: rc, policy: opts.Policy}
 }
+
+// WithPolicy returns a handle onto the same Runtime — same pool, same
+// admission bound, same shutdown state — with p as its failure policy.
+// It is the per-call override: the returned handle is cheap, immutable,
+// and safe to use concurrently with the original.
+//
+//	gen, err := rt.WithPolicy(repro.Policy{BuildRetries: 2}).
+//	    RebuildStaticMap(ctx, tbl, keys, values, seed)
+func (rt *Runtime) WithPolicy(p Policy) *Runtime {
+	return &Runtime{core: rt.core, policy: p}
+}
+
+// Policy returns the handle's failure policy.
+func (rt *Runtime) Policy() Policy { return rt.policy }
 
 var (
 	defaultRuntime     *Runtime
@@ -78,76 +223,88 @@ var (
 // DefaultRuntime returns the lazily created process-wide Runtime backing
 // the package's one-shot convenience functions (PeelParallel, BuildMPHF,
 // ReconcileSets, ...). It runs on the process-wide default worker pool
-// (shared with parallel.Default) with unbounded admission. Servers
-// should create their own Runtime to pick Workers/MaxJobs and to own
-// shutdown; shutting down the default Runtime degrades the package-level
-// helpers to inline serial execution for the rest of the process.
+// (shared with parallel.Default) with unbounded admission and the zero
+// Policy. Servers should create their own Runtime to pick
+// Workers/MaxJobs/Policy and to own shutdown; shutting down the default
+// Runtime degrades the package-level helpers to inline serial execution
+// for the rest of the process.
 func DefaultRuntime() *Runtime {
 	defaultRuntimeOnce.Do(func() {
-		defaultRuntime = &Runtime{pool: parallel.Default()}
+		defaultRuntime = &Runtime{core: &runtimeCore{pool: parallel.Default()}}
 	})
 	return defaultRuntime
 }
 
 // Workers returns the size of the Runtime's worker pool.
-func (rt *Runtime) Workers() int { return rt.pool.Workers() }
+func (rt *Runtime) Workers() int { return rt.core.pool.Workers() }
 
 // Pool returns the underlying shared worker pool, for interoperating
 // with the deprecated ...WithPool entry points during migration.
-func (rt *Runtime) Pool() *WorkerPool { return rt.pool }
+func (rt *Runtime) Pool() *WorkerPool { return rt.core.pool }
 
-// Stats returns a snapshot of the Runtime's backpressure counters:
-// queue depth and helper occupancy of the shared pool, and the
-// admitted/rejected/canceled job totals. Serving layers use it to size
+// Stats returns a snapshot of the Runtime's backpressure and failure
+// counters: queue depth and helper occupancy of the shared pool, the
+// admitted/rejected/canceled/panicked job totals, and the Runtime's
+// background shutdown-error count. Serving layers use it to size
 // MaxJobs and detect saturation.
-func (rt *Runtime) Stats() RuntimeStats { return rt.pool.Stats() }
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		Stats:          rt.core.pool.Stats(),
+		ShutdownErrors: rt.core.shutdownErrs.Load(),
+	}
+}
 
 // admit reserves a job slot, blocking while the MaxJobs bound is reached
 // (admission respects ctx) and failing with ErrRuntimeClosed once
 // Shutdown has begun.
 func (rt *Runtime) admit(ctx context.Context) error {
+	rc := rt.core
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if rt.sem != nil {
+	if rc.sem != nil {
 		select {
-		case rt.sem <- struct{}{}:
+		case rc.sem <- struct{}{}:
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		if rt.sem != nil {
-			<-rt.sem
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		if rc.sem != nil {
+			<-rc.sem
 		}
-		rt.pool.NoteRejected()
+		rc.pool.NoteRejected()
 		return ErrRuntimeClosed
 	}
-	rt.active++
-	rt.mu.Unlock()
+	rc.active++
+	rc.mu.Unlock()
 	return nil
 }
 
 // finish releases the job slot reserved by admit, completing a pending
 // shutdown when the last job leaves.
 func (rt *Runtime) finish() {
-	if rt.sem != nil {
-		<-rt.sem
+	rc := rt.core
+	if rc.sem != nil {
+		<-rc.sem
 	}
-	rt.mu.Lock()
-	rt.active--
-	if rt.active == 0 && rt.idle != nil {
-		close(rt.idle)
-		rt.idle = nil
+	rc.mu.Lock()
+	rc.active--
+	if rc.active == 0 && rc.idle != nil {
+		close(rc.idle)
+		rc.idle = nil
 	}
-	rt.mu.Unlock()
+	rc.mu.Unlock()
 }
 
 // runJob executes job synchronously on the calling goroutine as an
-// admitted job of the Runtime and its pool.
+// admitted job of the Runtime and its pool, under the policy's default
+// timeout.
 func (rt *Runtime) runJob(ctx context.Context, job func(ctx context.Context, pool *parallel.Pool) error) error {
+	ctx, cancel := rt.policy.applyTimeout(ctx)
+	defer cancel()
 	if err := rt.admit(ctx); err != nil {
 		return err
 	}
@@ -156,17 +313,29 @@ func (rt *Runtime) runJob(ctx context.Context, job func(ctx context.Context, poo
 }
 
 // execute runs an already admitted job on the current goroutine,
-// registering it with the pool (for drain accounting) and recording
-// cancellations in the pool stats.
+// registering it with the pool (for drain accounting), recovering any
+// panic at the job boundary (ErrJobPanicked), and recording
+// cancellations and panics in the pool stats.
 func (rt *Runtime) execute(ctx context.Context, job func(ctx context.Context, pool *parallel.Pool) error) error {
-	exit, err := rt.pool.Enter()
+	rc := rt.core
+	exit, err := rc.pool.Enter()
 	if err != nil {
 		return err
 	}
 	defer exit()
-	err = job(ctx, rt.pool)
-	if parallel.IsCancellation(err) {
-		rt.pool.NoteCanceled()
+	err = func() (jerr error) {
+		defer func() {
+			if v := recover(); v != nil {
+				jerr = parallel.NewPanicError(v)
+			}
+		}()
+		return job(ctx, rc.pool)
+	}()
+	switch {
+	case errors.Is(err, ErrJobPanicked):
+		rc.pool.NotePanicked()
+	case parallel.IsCancellation(err):
+		rc.pool.NoteCanceled()
 	}
 	return err
 }
@@ -178,18 +347,23 @@ func (rt *Runtime) execute(ctx context.Context, job func(ctx context.Context, po
 // its own barriers). Go blocks only for admission (MaxJobs), respecting
 // ctx; it returns a wait function that blocks until the job finishes and
 // reports its error. Discarding the wait function is allowed — the job
-// still runs and Shutdown still drains it.
+// still runs and Shutdown still drains it. A job that panics reports
+// ErrJobPanicked through the wait function instead of crashing the
+// process.
 //
 //	wait, err := rt.Go(ctx, func(ctx context.Context, p *repro.WorkerPool) error {
 //	    res, err := table.DecodeParallelFrontierCtx(ctx, p)
 //	    ...
 //	})
 func (rt *Runtime) Go(ctx context.Context, job func(ctx context.Context, pool *WorkerPool) error) (wait func() error, err error) {
+	ctx, cancel := rt.policy.applyTimeout(ctx)
 	if err := rt.admit(ctx); err != nil {
+		cancel()
 		return nil, err
 	}
 	errc := make(chan error, 1)
 	go func() {
+		defer cancel()
 		defer rt.finish()
 		errc <- rt.execute(ctx, job)
 	}()
@@ -207,33 +381,39 @@ func (rt *Runtime) Go(ctx context.Context, job func(ctx context.Context, pool *W
 // everything has drained. If ctx expires first it returns ctx.Err();
 // the Runtime keeps draining in the background and the workers are
 // released when the last job finishes (Go cannot force-kill goroutines —
-// cancel the jobs' own contexts to make the drain converge faster).
-// Calling Shutdown again returns ErrRuntimeClosed.
+// cancel the jobs' own contexts to make the drain converge faster). An
+// error from that background release (e.g. the pool was already shut
+// down underneath the Runtime) is counted in Stats().ShutdownErrors
+// rather than silently dropped. Calling Shutdown again returns
+// ErrRuntimeClosed.
 func (rt *Runtime) Shutdown(ctx context.Context) error {
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
+	rc := rt.core
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
 		return ErrRuntimeClosed
 	}
-	rt.closed = true
-	if rt.active == 0 {
+	rc.closed = true
+	if rc.active == 0 {
 		// Already drained: complete synchronously — even an expired ctx
 		// reports success for a shutdown that has nothing left to wait
 		// for (the pool drain below is likewise immediate).
-		rt.mu.Unlock()
-		return rt.pool.Shutdown(ctx)
+		rc.mu.Unlock()
+		return rc.pool.Shutdown(ctx)
 	}
 	idle := make(chan struct{})
-	rt.idle = idle
-	rt.mu.Unlock()
+	rc.idle = idle
+	rc.mu.Unlock()
 
 	select {
 	case <-idle:
-		return rt.pool.Shutdown(ctx)
+		return rc.pool.Shutdown(ctx)
 	case <-ctx.Done():
 		go func() {
 			<-idle
-			_ = rt.pool.Shutdown(context.Background())
+			if err := rc.pool.Shutdown(context.Background()); err != nil {
+				rc.shutdownErrs.Add(1)
+			}
 		}()
 		return ctx.Err()
 	}
@@ -324,12 +504,22 @@ func (rt *Runtime) Decode(ctx context.Context, t *IBLT) (*IBLTParallelResult, er
 // across worker counts). Cancellation is checked at every round barrier
 // of every attempt, so a canceled build aborts within one peel round of
 // extra work — not one phase.
+//
+// Under a Policy with BuildRetries > 0, a build whose whole seed ladder
+// fails (ErrMPHFBuildFailed) is retried with a jittered escalated seed;
+// duplicate-key errors, cancellations, and panics are never retried.
 func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*MPHF, error) {
 	var f *MPHF
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		var err error
-		f, err = mphf.BuildCtx(ctx, keys, mphf.DefaultGamma, seed, 10, pool)
-		return err
+		s := seed
+		for attempt := 0; ; attempt++ {
+			f, err = mphf.BuildCtx(ctx, keys, mphf.DefaultGamma, s, 10, pool)
+			if err == nil || attempt >= rt.policy.BuildRetries || !errors.Is(err, mphf.ErrBuildFailed) {
+				return err
+			}
+			s = escalateSeed(seed, attempt+1)
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -344,12 +534,20 @@ func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*
 // peel is bit-stable across worker counts), so a map built here seals
 // the same flat image an offline builder box would produce.
 // Cancellation is checked at every round barrier of every attempt.
+//
+// Build retries under a Policy behave exactly as in BuildMPHF.
 func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, seed uint64) (*StaticMap, error) {
 	var f *StaticMap
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		var err error
-		f, err = bloomier.BuildCtx(ctx, keys, values, bloomier.DefaultGamma, seed, 10, pool)
-		return err
+		s := seed
+		for attempt := 0; ; attempt++ {
+			f, err = bloomier.BuildCtx(ctx, keys, values, bloomier.DefaultGamma, s, 10, pool)
+			if err == nil || attempt >= rt.policy.BuildRetries || !errors.Is(err, bloomier.ErrBuildFailed) {
+				return err
+			}
+			s = escalateSeed(seed, attempt+1)
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -363,11 +561,29 @@ func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, se
 // oversizes the difference table for safety. The returned difference
 // sides are sorted (deterministic at every pool size). Cancellation is
 // checked between protocol phases and at the decode's subround barriers.
+//
+// Under a Policy with ReconcileRetries > 0, an incomplete decode
+// (ErrReconcileIncomplete — the difference table was undersized for the
+// true difference) is retried with the headroom escalated by
+// HeadroomStep per attempt, up to MaxHeadroom: graceful degradation —
+// some extra wire bytes — instead of a terminal error. wireBytes
+// accumulates across attempts, as a networked deployment's would.
 func (rt *Runtime) Reconcile(ctx context.Context, local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
 	err = rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
-		var jerr error
-		onlyLocal, onlyRemote, wireBytes, jerr = iblt.ReconcileCtx(ctx, local, remote, seed, headroom, pool)
-		return jerr
+		h := headroom
+		for attempt := 0; ; attempt++ {
+			var jerr error
+			var wb int
+			onlyLocal, onlyRemote, wb, jerr = iblt.ReconcileCtx(ctx, local, remote, seed, h, pool)
+			wireBytes += wb
+			if jerr == nil || attempt >= rt.policy.ReconcileRetries || !errors.Is(jerr, iblt.ErrDecodeIncomplete) {
+				return jerr
+			}
+			h += rt.policy.headroomStep()
+			if max := rt.policy.maxHeadroom(); h > max {
+				h = max
+			}
+		}
 	})
 	if err != nil {
 		return nil, nil, wireBytes, err

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"unsafe"
 
 	"repro/internal/bloomier"
+	"repro/internal/faultinject"
 	"repro/internal/layout"
 	"repro/internal/mphf"
 	"repro/internal/parallel"
@@ -91,6 +93,13 @@ type StaticTable struct {
 
 	swapMu  sync.Mutex // serializes swaps; never touched by lookups
 	lastGen uint64     // generation counter, under swapMu
+
+	// Corrupt-image quarantine (SwapImage): how many candidate images
+	// were rejected, and why the last one was. Both are atomics — a
+	// rejection never touches swapMu, so a flood of bad images cannot
+	// stall a concurrent good swap.
+	rejects    atomic.Int64
+	lastReject atomic.Pointer[error]
 }
 
 // NewStaticTable returns an empty serving handle; install the first
@@ -190,6 +199,62 @@ func (t *StaticTable) Swap(fn StaticFunc, release func()) uint64 {
 	return g.gen
 }
 
+// openStatic validates data as a flat image and returns the matching
+// zero-copy static function (MPHF or static map, by the image's kind
+// tag) — the kind-dispatching loader behind SwapImage.
+func openStatic(data []byte) (StaticFunc, error) {
+	im, err := layout.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	switch im.Kind {
+	case layout.KindMPHF:
+		return mphf.FromImage(im)
+	case layout.KindBloomier:
+		return bloomier.FromImage(im)
+	default:
+		return nil, fmt.Errorf("%w: kind %d", layout.ErrBadImage, uint16(im.Kind))
+	}
+}
+
+// SwapImage validates data as a flat image (either kind) and, only if
+// the header, bounds, and checksum all verify, installs the zero-copy
+// view as the table's next generation — the crash-safe ingestion path
+// for images arriving from disk or the network. A corrupt, truncated,
+// or torn image is quarantined: SwapImage returns the validation error
+// (matching layout.ErrBadImage / layout.ErrUnaligned), the previous
+// generation keeps serving untouched, and the rejection is counted
+// (SwapRejections). data must stay immutable for the life of the
+// generation; release runs when the generation is eventually retired
+// and drained, exactly as in Swap.
+func (t *StaticTable) SwapImage(data []byte, release func()) (uint64, error) {
+	if faultinject.Enabled {
+		// Failpoint: the callback may corrupt the candidate bytes,
+		// exercising the quarantine below.
+		faultinject.Fire(faultinject.ServingSwap, data)
+	}
+	fn, err := openStatic(data)
+	if err != nil {
+		t.rejects.Add(1)
+		t.lastReject.Store(&err)
+		return 0, err
+	}
+	return t.Swap(fn, release), nil
+}
+
+// SwapRejections reports the corrupt-image quarantine state: how many
+// SwapImage candidates failed validation over the table's lifetime, and
+// the most recent rejection's error (nil if none). Serving layers alarm
+// on a rising count — it means a builder or transport is handing the
+// server bad images — while lookups continue against the last good
+// generation.
+func (t *StaticTable) SwapRejections() (count int64, last error) {
+	if p := t.lastReject.Load(); p != nil {
+		last = *p
+	}
+	return t.rejects.Load(), last
+}
+
 // waitDrain spins until no lookup pins g anymore. Lookups hold their
 // pin only for one O(1) probe (or one batch), so the wait is short;
 // back off to the scheduler, then to sleeps, rather than burn a core.
@@ -223,6 +288,25 @@ func (rt *Runtime) Swap(ctx context.Context, tbl *StaticTable, fn StaticFunc, re
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		gen = tbl.Swap(fn, release)
 		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// SwapImage validates data as a flat image and installs it as tbl's
+// next generation as an admitted Runtime job, with the same corrupt-
+// image quarantine as StaticTable.SwapImage: a bad image returns an
+// error (matching layout.ErrBadImage / layout.ErrUnaligned), leaves the
+// table serving its current generation, and is counted in
+// tbl.SwapRejections.
+func (rt *Runtime) SwapImage(ctx context.Context, tbl *StaticTable, data []byte, release func()) (uint64, error) {
+	var gen uint64
+	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
+		var jerr error
+		gen, jerr = tbl.SwapImage(data, release)
+		return jerr
 	})
 	if err != nil {
 		return 0, err

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -152,7 +153,11 @@ func BenchmarkAblationSeqVsPar(b *testing.B) {
 	})
 	b.Run("Parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if res := PeelParallel(g, 2); !res.Empty() {
+			res, err := DefaultRuntime().Peel(context.Background(), g, 2, PeelOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Empty() {
 				b.Fatal("peel failed")
 			}
 		}
@@ -166,7 +171,10 @@ func BenchmarkAblationSubtableRounds(b *testing.B) {
 	g := NewPartitionedHypergraph(1<<20, 730000, 4, 1)
 	b.Run("PlainRounds", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res := PeelParallel(g, 2)
+			res, err := DefaultRuntime().Peel(context.Background(), g, 2, PeelOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
 			if !res.Empty() {
 				b.Fatal("peel failed")
 			}

@@ -1,0 +1,104 @@
+// Command peelvet runs the repository's invariant analyzers (see
+// internal/analysis): nospawn, ctxbarrier, nounsafe, nopanic, and
+// atomicshard.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `peelvet [-tags=...] [packages]` loads the packages
+//     (default ./..., test files included) itself and prints findings.
+//     CI runs it this way.
+//   - Vet tool: `go vet -vettool=$(which peelvet) ./...` — cmd/go drives
+//     the tool one package at a time through the @cfg unit-checker
+//     protocol, reusing the build cache for type information.
+//
+// Exit status is 0 when clean, 2 when there are findings, and 1 when
+// loading or type-checking fails (a broken tree is never reported as
+// clean).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	checkers := analysis.Analyzers()
+
+	// cmd/go handshakes: version for the vet cache key, flags before
+	// forwarding any, then one @cfg invocation per package.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			analysis.PrintVersion(os.Stdout, "peelvet", checkers)
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			analysis.PrintFlags(os.Stdout)
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			// cmd/go invokes the tool once per package with the bare path
+			// of its vet config file as the sole argument.
+			return analysis.RunUnitchecker(args[0], checkers, os.Stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("peelvet", flag.ContinueOnError)
+	tags := fs.String("tags", "", "comma-separated build tags, as for go build")
+	noTests := fs.Bool("notests", false, "skip _test.go files")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: peelvet [-tags=list] [-notests] [packages]\n")
+		fmt.Fprintf(fs.Output(), "   or: go vet -vettool=$(which peelvet) [packages]\n\nAnalyzers:\n")
+		for _, a := range checkers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cfg := analysis.LoadConfig{Tests: !*noTests}
+	if *tags != "" {
+		cfg.BuildFlags = []string{"-tags=" + *tags}
+	}
+	pkgs, err := analysis.Load(cfg, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peelvet: %v\n", err)
+		return analysis.ExitError
+	}
+
+	status := analysis.ExitClean
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "peelvet: %s: %v\n", pkg.ImportPath, terr)
+			status = analysis.ExitError
+		}
+		if len(pkg.TypeErrors) > 0 {
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, checkers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peelvet: %v\n", err)
+			return analysis.ExitError
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			if status == analysis.ExitClean {
+				status = analysis.ExitFindings
+			}
+		}
+	}
+	return status
+}

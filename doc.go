@@ -159,6 +159,19 @@
 // which graph a seed denotes relative to earlier revisions, a one-time
 // mapping change; all statistical results are unaffected.)
 //
+// The concurrency and safety disciplines above are not conventions but
+// machine-checked invariants: cmd/peelvet (internal/analysis) runs five
+// custom analyzers — nospawn (no raw go statements outside
+// internal/parallel), ctxbarrier (round loops over pool barriers consult
+// their ctx; non-Ctx wrappers delegate instead of duplicating loops),
+// nounsafe (unsafe confined to internal/layout), nopanic (library code
+// returns wrapped sentinel errors unless a panic guard is documented),
+// and atomicshard (no mixed atomic/plain access to a scalar). CI runs
+// peelvet over the default and faultinject builds, and contributions are
+// expected to keep it clean: a deliberate exception needs an inline
+// "//peelvet:allow <analyzer> -- <reason>" suppression, whose reason
+// clause is mandatory. See the "Static analysis" section of README.md.
+//
 // The cmd/ binaries regenerate every table and figure in the paper's
 // evaluation; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for measured-vs-paper results.

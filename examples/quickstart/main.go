@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro"
 )
@@ -32,7 +33,7 @@ func main() {
 		// Compare with the idealized recurrence (Table 2 of the paper).
 		pred, err := repro.RecurrenceParams{K: k, R: r, C: c}.Trace(res.Rounds)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		fmt.Println("  recurrence check (round: simulated / predicted):")
 		for t := 0; t < 3 && t < len(pred); t++ {

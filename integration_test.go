@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -24,7 +25,10 @@ func TestIntegrationModelChain(t *testing.T) {
 	k, r, c := 2, 4, 0.7
 	n := 1 << 18
 	g := NewUniformHypergraph(n, int(c*float64(n)), r, 77)
-	sim := PeelParallel(g, k)
+	sim, err := DefaultRuntime().Peel(context.Background(), g, k, PeelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec, err := recurrence.Params{K: k, R: r, C: c}.Trace(sim.Rounds)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +74,10 @@ func TestIntegrationStructuralViews(t *testing.T) {
 	coreness := CorenessAll(g)
 	for _, k := range []int{2, 3, 4} {
 		depth := PeelDepths(g, k)
-		par := PeelParallelOpts(g, k, PeelOptions{Scan: FullScan})
+		par, err := DefaultRuntime().Peel(context.Background(), g, k, PeelOptions{Scan: FullScan})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for v := 0; v < g.N; v++ {
 			inCore := par.VertexAlive[v] != 0
 			if inCore != (depth[v] == core.InCore) {

@@ -1,0 +1,246 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the peelvet analyzers that enforce this repository's concurrency and
+// safety invariants at compile time:
+//
+//   - nospawn: no raw go statements outside internal/parallel — all
+//     concurrency flows through parallel.Pool / parallel.Group /
+//     Runtime.Go so panic isolation and admission accounting are never
+//     bypassed.
+//   - ctxbarrier: a *Ctx function whose round loop crosses pool
+//     barriers must consult its ctx inside the loop, and a non-Ctx
+//     exported variant must delegate to the Ctx form instead of
+//     duplicating the loop.
+//   - nounsafe: unsafe and reflect.{Slice,String}Header are confined to
+//     internal/layout, whose Open is the single validated entry point
+//     for zero-copy aliasing.
+//   - nopanic: library code returns wrapped sentinel errors; a panic is
+//     legal only in internal/parallel's panic plumbing, in
+//     internal/faultinject (whose job is injecting them), or as a
+//     documented programmer-error guard ("Panics if ..." in the doc
+//     comment of the enclosing function).
+//   - atomicshard: a scalar variable or field accessed through
+//     sync/atomic anywhere in a package must not also be accessed
+//     plainly — the class of race the pool's poison pointer and the
+//     serving generation counter are one typo away from.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic, an analysistest equivalent, and the
+// "go vet -vettool" unit-checker protocol in cmd/peelvet) but is built
+// only on the standard library: the toolchain in this repository's
+// build environment has no module proxy access, so the framework loads
+// packages with "go list -export" and type-checks against the compiler's
+// export data via go/importer. Migrating an analyzer to the upstream
+// framework is a mechanical import swap.
+//
+// A finding that is a reviewed, deliberate exception is suppressed in
+// place with a trailing comment naming the analyzer and the reason:
+//
+//	go func() { ... }() //peelvet:allow nospawn -- lifecycle plumbing
+//
+// The comment may also stand alone on the line directly above the
+// finding. Suppressions without a reason are themselves diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check: a name for diagnostics and
+// suppressions, a doc string, and a Run function applied once per
+// package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, in -vet flag
+	// selection, and in //peelvet:allow suppressions. It must be a
+	// valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then details.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one (analyzer, package) unit of work: the syntax and type
+// information for a single package, and the Report sink for findings.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	// Test files (*_test.go) are present when the loader was asked
+	// for them; analyzers that exempt tests must check positions via
+	// InTestFile.
+	Files []*ast.File
+
+	// Pkg and TypesInfo carry the package's type information. Uses,
+	// Defs, Selections, and Types are always populated.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The checker wires it; analyzer
+	// code usually calls Reportf.
+	Report func(Diagnostic)
+}
+
+// Path returns the package's import path.
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a *_test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one finding: a position and a message. The checker
+// stamps the Analyzer field.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// allowRe matches a suppression comment — anchored to the comment
+// start, so prose that merely mentions the marker never suppresses.
+// The reason clause after " -- " is mandatory; enforcing it keeps every
+// exception reviewable.
+var allowRe = regexp.MustCompile(`^//peelvet:allow\s+([A-Za-z0-9_,]+)(\s+--\s+\S.*)?`)
+
+// suppressions records, per file line, which analyzers are allowed
+// there, plus the lines holding malformed (reason-less) comments.
+type suppressions struct {
+	allowed   map[int]map[string]bool // line -> analyzer names
+	malformed map[int]token.Pos       // line -> comment position
+}
+
+// collectSuppressions scans a file's comments for //peelvet:allow
+// markers. A marker suppresses findings on its own line and, when it is
+// the whole comment group (a standalone comment), on the following line.
+func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
+	s := suppressions{allowed: map[int]map[string]bool{}, malformed: map[int]token.Pos{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if m[2] == "" {
+				s.malformed[pos.Line] = c.Pos()
+				continue
+			}
+			lines := []int{pos.Line}
+			if pos.Column <= 1 || standaloneComment(fset, f, c) {
+				lines = append(lines, pos.Line+1)
+			}
+			for _, line := range lines {
+				set := s.allowed[line]
+				if set == nil {
+					set = map[string]bool{}
+					s.allowed[line] = set
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// standaloneComment reports whether c begins its line (no code before
+// it), in which case the suppression also covers the next line.
+func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	var onLine bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || onLine {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == cpos.Line && n.Pos() < c.Pos() {
+			if _, isFile := n.(*ast.File); !isFile {
+				onLine = true
+			}
+			return false
+		}
+		return true
+	})
+	return !onLine
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// surviving diagnostics: suppressed findings are dropped, and malformed
+// suppression comments (missing the " -- reason" clause) are reported
+// as findings of the pseudo-analyzer "peelvet". Diagnostics come back
+// sorted by position.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	supp := map[string]suppressions{} // filename -> suppressions
+	var diags []Diagnostic
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		s := collectSuppressions(fset, f)
+		supp[name] = s
+		for _, pos := range s.malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "peelvet",
+				Message:  "peelvet:allow needs a reason: write //peelvet:allow <analyzer> -- <why this exception is safe>",
+			})
+		}
+	}
+	for _, a := range analyzers {
+		var reported []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { reported = append(reported, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+		for _, d := range reported {
+			d.Analyzer = a.Name
+			p := fset.Position(d.Pos)
+			if s, ok := supp[p.Filename]; ok && s.allowed[p.Line][a.Name] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

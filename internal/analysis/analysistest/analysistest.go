@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the repo's
+// stdlib-only framework.
+//
+// A test package lives under internal/analysis/testdata/src/<name> —
+// inside the module (so "go list" can compile it against the real
+// dependency graph) but under a testdata element (so repo-wide ./...
+// patterns never match its deliberately bad code).
+//
+// Each line that should produce a finding carries an annotation whose
+// argument is a regular expression the finding's message must match:
+//
+//	go func() {}() // want `raw go statement`
+//
+// Several annotations on one line mean several findings. A finding on
+// a line without a matching annotation, or an annotation without a
+// finding, fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one annotation: // want `re` "re" ...
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:[`\"][^`\"]*[`\"]\\s*)+)")
+
+var argRe = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+// TestData returns the absolute path of the testdata directory next to
+// the caller's package. Panics if the runtime provides no caller
+// information.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and checks the findings against the // want annotations.
+// It returns the diagnostics for further assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loaded, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: true}, ".")
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, lp := range loaded {
+			for _, terr := range lp.TypeErrors {
+				t.Errorf("%s: type error: %v", pkg, terr)
+			}
+			diags, err := analysis.RunAnalyzers(lp.Fset, lp.Files, lp.Types, lp.Info, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+			}
+			all = append(all, diags...)
+			check(t, lp, diags)
+		}
+	}
+	return all
+}
+
+// expectation is one want annotation.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check compares diagnostics against annotations, both keyed by
+// (file, line).
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, am := range argRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(am[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, am[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: am[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", relPos(pos), d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+func relPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(pos.Filename), pos.Line, pos.Column)
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicShard reports plain (non-atomic) reads and writes of a scalar
+// variable or struct field that is elsewhere in the package passed by
+// address to a sync/atomic function. Mixing the two access modes is a
+// data race the race detector only catches if a test happens to
+// interleave them — exactly the bug the pool's poison pointer and the
+// serving generation counter are one typo away from.
+//
+// Scope is deliberately the control-word class: tracked targets are
+// &v (a package-level or local variable) and &recv.f (a field reached
+// through the enclosing method's receiver — the shape every atomic
+// control word in this codebase has). Indexed targets like
+// &cells[i].Count, and fields reached through non-receiver pointers
+// (helpers handed one element of a sharded array), are not tracked,
+// because per-element phase separation — a parallel phase using
+// atomics, then a serial phase owning the array — is this codebase's
+// documented idiom (erasure cells, IBLT counts, degree arrays), and
+// flagging it would drown the scalar control-word class the analyzer
+// exists for. Once a field is tracked, though, every plain access to
+// it is flagged no matter how it is reached.
+//
+// A deliberate mixed access (for example a constructor writing a field
+// before the value is published) is suppressed in place:
+//
+//	s.gen = 0 //peelvet:allow atomicshard -- not yet published
+var AtomicShard = &Analyzer{
+	Name: "atomicshard",
+	Doc: "flag plain access to scalars that are elsewhere accessed via sync/atomic\n\n" +
+		"A variable or field passed to sync/atomic anywhere in the package " +
+		"must be accessed atomically everywhere (test files included — a " +
+		"racy test is still a race).",
+	Run: runAtomicShard,
+}
+
+// atomicOps matches the sync/atomic function-name prefixes that take an
+// address argument.
+var atomicOps = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"}
+
+func runAtomicShard(pass *Pass) error {
+	// Pass 1: collect tracked objects — targets of &v / &recv.f
+	// arguments to sync/atomic calls — and remember every node an
+	// atomic call consumes (tracked shape or not) so pass 2 never
+	// flags the atomic accesses themselves.
+	tracked := map[types.Object]token.Pos{} // object -> first atomic access
+	inAtomic := map[ast.Node]bool{}         // nodes consumed by an atomic call
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverObj(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pass, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					markConsumed(un.X, inAtomic)
+					obj := addressedScalar(pass, un.X, recv)
+					if obj == nil {
+						continue
+					}
+					if _, seen := tracked[obj]; !seen {
+						tracked[obj] = un.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other load or store of a tracked object is a
+	// finding.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if inAtomic[x] {
+					return true
+				}
+				sel, ok := pass.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if _, yes := tracked[sel.Obj()]; yes {
+					pass.Reportf(x.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere in this package: use the atomic form", fieldDesc(sel.Obj()))
+				}
+			case *ast.Ident:
+				if inAtomic[x] {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[x]
+				if obj == nil {
+					return true
+				}
+				if _, yes := tracked[obj]; !yes {
+					return true
+				}
+				// Field idents inside SelectorExprs resolve through
+				// Selections, handled above; a bare Ident hit here is a
+				// variable.
+				if _, isVar := obj.(*types.Var); isVar && !isFieldObj(obj) {
+					pass.Reportf(x.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere in this package: use the atomic form", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is sync/atomic.XxxYyy for a tracked
+// operation prefix.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, op := range atomicOps {
+		if strings.HasPrefix(sel.Sel.Name, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// markConsumed records the selector/identifier nodes under an atomic
+// call's &argument so the plain-access pass skips them, whatever their
+// shape (including &cells[i].Count, whose SelectorExpr would otherwise
+// read as a plain access to a tracked field).
+func markConsumed(expr ast.Expr, inAtomic map[ast.Node]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			inAtomic[n] = true
+		}
+		return true
+	})
+}
+
+// addressedScalar resolves &expr's target to a trackable object: a
+// variable identifier, or a field selected through the enclosing
+// method's receiver (recv.f). Indexed targets and fields reached
+// through other pointers return nil — the sharded-array idiom is out of
+// scope by design.
+func addressedScalar(pass *Pass, expr ast.Expr, recv types.Object) types.Object {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if v, ok := obj.(*types.Var); ok && !isFieldObj(v) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		id, ok := x.X.(*ast.Ident)
+		if !ok || recv == nil || pass.TypesInfo.Uses[id] != recv {
+			return nil
+		}
+		sel, ok := pass.TypesInfo.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		return sel.Obj()
+	}
+	return nil
+}
+
+// receiverObj returns the *types.Var of fd's receiver, or nil for plain
+// functions and anonymous receivers.
+func receiverObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func isFieldObj(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+// fieldDesc names a field as "Type.field" when its owner is known.
+func fieldDesc(obj types.Object) string {
+	return obj.Name()
+}

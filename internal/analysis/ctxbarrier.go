@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// barrierMethods are the pool entry points whose return is a round
+// barrier: every worker has finished the round's chunks when the call
+// returns. A loop over one of these is a round loop in the sense of the
+// paper's round-synchronous peeling model.
+var barrierMethods = map[string]bool{
+	"For":          true,
+	"ForCtx":       true,
+	"Run":          true,
+	"RunRanges":    true,
+	"RunRangesCtx": true,
+}
+
+// barrierReceivers are the named types whose barrier-named methods
+// count. Matching by type name (not import path) lets analysistest
+// packages declare a local Pool.
+var barrierReceivers = map[string]bool{
+	"Pool":  true,
+	"Group": true,
+}
+
+// CtxBarrier enforces the runtime's cancellation contract on round
+// loops.
+//
+// Rule 1: a function whose name ends in "Ctx" and takes a
+// context.Context must consult that context inside any loop that
+// crosses pool barriers. The paper's O(log log n) round structure is
+// what makes cancellation cheap — one check per barrier — but only if
+// the check is actually inside the loop; a Ctx function with an
+// unchecked round loop silently runs to completion after cancellation.
+//
+// Rule 2: an exported non-Ctx function with a Ctx sibling (Foo next to
+// FooCtx, on the same receiver) must not contain its own barrier loop:
+// it must delegate to the Ctx form. Duplicated loops are how the two
+// variants drift apart.
+//
+// internal/parallel is exempt: it implements the barriers.
+var CtxBarrier = &Analyzer{
+	Name: "ctxbarrier",
+	Doc: "round loops in *Ctx functions must consult ctx; non-Ctx variants must delegate\n\n" +
+		"A loop calling pool barrier methods (For, Run, RunRanges, ...) " +
+		"inside a *Ctx function must use its context.Context parameter " +
+		"inside the loop. An exported Foo with a FooCtx sibling must not " +
+		"duplicate the round loop.",
+	Run: runCtxBarrier,
+}
+
+func runCtxBarrier(pass *Pass) error {
+	if PathHasSuffix(pass.Path(), "internal/parallel") {
+		return nil
+	}
+
+	// Index function names per receiver so rule 2 can find Ctx
+	// siblings: key "Recv.Name" or ".Name" for plain functions.
+	declared := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				declared[funcKey(fd)] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case strings.HasSuffix(name, "Ctx"):
+				ctxObj := ctxParam(pass, fd)
+				if ctxObj == nil {
+					continue
+				}
+				checkCtxLoops(pass, fd, ctxObj)
+			case fd.Name.IsExported() && declared[funcKey(fd)+"Ctx"]:
+				if loop := findBarrierLoop(pass, fd.Body); loop != nil {
+					pass.Reportf(loop.Pos(), "%s duplicates a round loop although %sCtx exists: delegate to the Ctx variant instead of forking the loop", name, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// funcKey names a declaration as "Recv.Name" (methods, by receiver base
+// type name) or ".Name" (functions).
+func funcKey(fd *ast.FuncDecl) string {
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return recv + "." + fd.Name.Name
+}
+
+// ctxParam returns the *types.Var of fd's context.Context parameter,
+// or nil.
+func ctxParam(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+				if named.Obj().Name() == "Context" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxLoops reports each loop in fd that crosses a pool barrier
+// without consulting ctx inside the loop body.
+func checkCtxLoops(pass *Pass, fd *ast.FuncDecl, ctxObj *types.Var) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !containsBarrierCall(pass, body) {
+			return true
+		}
+		if usesObject(pass, body, ctxObj) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "round loop in %s crosses pool barriers without consulting ctx: check ctx (or call a *Ctx barrier) inside the loop so cancellation lands within one round", fd.Name.Name)
+		return true
+	})
+}
+
+// findBarrierLoop returns the first loop under n containing a barrier
+// call, or nil.
+func findBarrierLoop(pass *Pass, n ast.Node) (found ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if containsBarrierCall(pass, body) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsBarrierCall reports whether any call under n is a barrier
+// method on a Pool/Group receiver.
+func containsBarrierCall(pass *Pass, n ast.Node) bool {
+	hit := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if hit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !barrierMethods[sel.Sel.Name] {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return true
+		}
+		t := types.Unalias(tv.Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(ptr.Elem())
+		}
+		if named, ok := t.(*types.Named); ok && barrierReceivers[named.Obj().Name()] {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

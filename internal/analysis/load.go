@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// TypeErrors holds any type-checking problems. Analysis still runs
+	// on a partially checked package, mirroring go vet, but drivers
+	// surface these so a broken tree is never silently "clean".
+	TypeErrors []error
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the working directory for the go tool; "" means the
+	// process's.
+	Dir string
+
+	// BuildFlags are extra arguments for "go list", e.g.
+	// "-tags=faultinject".
+	BuildFlags []string
+
+	// Tests includes each package's _test.go files (the in-package
+	// test variant) in the returned syntax.
+	Tests bool
+}
+
+// listPackage is the subset of "go list -json" output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	Export       string
+	DepOnly      bool
+	Standard     bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+	DepsErrors   []*struct{ Err string }
+	Module       *struct{ Path string }
+	ImportedBy   []string `json:"-"`
+	XTestGoFiles []string
+}
+
+// Load runs "go list -export -deps" over patterns and returns the
+// type-checked packages the patterns matched (dependencies are consumed
+// as export data, not returned). It is the analysis equivalent of
+// golang.org/x/tools/go/packages.Load in LoadAllSyntax mode for the
+// target packages, built only on the standard library.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, cfg.BuildFlags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		if lp.Error != nil && len(lp.GoFiles) == 0 {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, imp, lp, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and checks one listed package against export data.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage, tests bool) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by the peelvet loader", lp.ImportPath)
+	}
+	names := append([]string{}, lp.GoFiles...)
+	if tests {
+		names = append(names, lp.TestGoFiles...)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: terrs,
+	}, nil
+}
+
+// newExportImporter returns a types.Importer that resolves import paths
+// through the compiler export data files "go list -export" reported.
+// Paths outside that set — test-only dependencies like testing/quick,
+// which "-deps" over non-test files never lists — are resolved lazily
+// with one extra "go list -export" call each.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			out, err := exec.Command("go", "list", "-e", "-export", "-f", "{{.Export}}", "--", path).Output()
+			if file = strings.TrimSpace(string(out)); err != nil || file == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			exports[path] = file
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return base.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// PathHasSuffix reports whether the import path ends with the given
+// slash-separated suffix on element boundaries: "internal/layout"
+// matches "repro/internal/layout" but not "repro/tinternal/layout".
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// repoRoot locates the module root from this test file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestPeelvetRepoClean runs the whole suite over the repository at head
+// — the same check CI's peelvet step performs — under both the default
+// and the faultinject build, test files included. A finding here means
+// an invariant regressed (or a new, deliberate exception is missing its
+// //peelvet:allow reason).
+func TestPeelvetRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	for _, tc := range []struct {
+		name string
+		tags []string
+	}{
+		{name: "default"},
+		{name: "faultinject", tags: []string{"-tags=faultinject"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs, err := analysis.Load(analysis.LoadConfig{
+				Dir:        repoRoot(t),
+				BuildFlags: tc.tags,
+				Tests:      true,
+			}, "./...")
+			if err != nil {
+				t.Fatalf("loading repository: %v", err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatal("loaded zero packages")
+			}
+			for _, pkg := range pkgs {
+				for _, terr := range pkg.TypeErrors {
+					t.Errorf("%s: type error: %v", pkg.ImportPath, terr)
+				}
+				diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.Analyzers())
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.ImportPath, err)
+				}
+				for _, d := range diags {
+					pos := pkg.Fset.Position(d.Pos)
+					t.Errorf("%s:%d:%d: %s (%s)", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// panicAllowed lists the import-path suffixes where panic is legal
+// without further justification: internal/parallel's plumbing
+// re-panics recovered *PanicError values across barrier boundaries,
+// and internal/faultinject exists to inject panics.
+var panicAllowed = []string{"internal/parallel", "internal/faultinject"}
+
+// NoPanic reports panic calls in non-test library code. PR 7 set the
+// direction: the library returns wrapped sentinel errors, so a served
+// request can never kill the process. A panic survives review only as
+//
+//   - panic plumbing in internal/parallel (re-panicking a recovered
+//     *PanicError is how a worker's panic crosses the barrier), or
+//   - an injected fault in internal/faultinject, or
+//   - a documented programmer-error guard: the enclosing function's doc
+//     comment must say so ("Panics if ..."), making the contract part
+//     of the API the way math/rand.Intn's is.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "flag panic calls in non-test library code\n\n" +
+		"Return wrapped sentinel errors instead. A panic is allowed only " +
+		"in internal/parallel's panic plumbing, in internal/faultinject, " +
+		"or when the enclosing function's doc comment documents it " +
+		"(\"Panics if ...\").",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	for _, suffix := range panicAllowed {
+		if PathHasSuffix(pass.Path(), suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			if fd := enclosingFuncDecl(f, call.Pos()); fd != nil && docMentionsPanic(fd.Doc) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code: return a wrapped sentinel error, or document the guard (\"Panics if ...\") in the enclosing function's doc comment")
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncDecl returns the innermost top-level function or method
+// declaration containing pos (closures inherit their declaration's doc
+// contract), or nil at file scope.
+func enclosingFuncDecl(f *ast.File, p token.Pos) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= p && p < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// docMentionsPanic reports whether a doc comment declares a panic
+// contract.
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(doc.Text()), "panic")
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// spawnAllowed lists the import-path suffixes where a raw go statement
+// is legal: internal/parallel is the one place allowed to create
+// goroutines, because its helpers are what give every other goroutine
+// in the process panic isolation, drain accounting, and admission
+// stats.
+var spawnAllowed = []string{"internal/parallel"}
+
+// NoSpawn reports raw go statements outside internal/parallel and
+// outside _test.go files. Everything concurrent in the runtime must
+// flow through parallel.Pool / parallel.Group / Runtime.Go so that a
+// panicking task poisons a barrier instead of the process, Shutdown
+// can drain it, and it is visible in Stats. A goroutine spawned with a
+// bare go statement has none of those properties.
+var NoSpawn = &Analyzer{
+	Name: "nospawn",
+	Doc: "flag raw go statements outside internal/parallel\n\n" +
+		"Concurrency must flow through parallel.Pool, parallel.Group, or " +
+		"Runtime.Go so panic isolation, drain accounting, and admission " +
+		"stats are never bypassed. Test files are exempt.",
+	Run: runNoSpawn,
+}
+
+func runNoSpawn(pass *Pass) error {
+	for _, suffix := range spawnAllowed {
+		if PathHasSuffix(pass.Path(), suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(g.Pos()) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "raw go statement: route this through parallel.Pool/Group or Runtime.Go so panic isolation and admission stats apply")
+			return true
+		})
+	}
+	return nil
+}

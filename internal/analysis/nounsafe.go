@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// unsafeAllowed lists the import-path suffixes where package unsafe is
+// legal. internal/layout is the single validated entry point for
+// zero-copy aliasing: its Open checks version, bounds, alignment, and
+// checksum before any unsafe.Slice call, so aliasing done anywhere else
+// would bypass those checks. (The mmap shim in cmd/peeltool needs only
+// syscall.Mmap, which returns a []byte without unsafe — it earns no
+// exemption.)
+var unsafeAllowed = []string{"internal/layout"}
+
+// NoUnsafe reports imports of unsafe, and uses of reflect.SliceHeader /
+// reflect.StringHeader, outside internal/layout. Zero-copy aliasing is
+// only legal behind layout's validation; the reflect headers are the
+// deprecated, garbage-collector-unsafe way to do the same thing and are
+// banned everywhere.
+var NoUnsafe = &Analyzer{
+	Name: "nounsafe",
+	Doc: "confine unsafe and reflect.{Slice,String}Header to internal/layout\n\n" +
+		"Zero-copy aliasing is only legal behind layout.Open's validation " +
+		"(version, bounds, alignment, checksum). reflect.SliceHeader and " +
+		"reflect.StringHeader are banned everywhere.",
+	Run: runNoUnsafe,
+}
+
+func runNoUnsafe(pass *Pass) error {
+	allowed := false
+	for _, suffix := range unsafeAllowed {
+		if PathHasSuffix(pass.Path(), suffix) {
+			allowed = true
+		}
+	}
+	for _, f := range pass.Files {
+		if !allowed {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "unsafe" {
+					pass.Reportf(imp.Pos(), "import of unsafe outside internal/layout: zero-copy aliasing must go through layout.Open's validation")
+				}
+			}
+		}
+		// The reflect headers are banned even inside the allowlist:
+		// unsafe.Slice/unsafe.String subsume them safely.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "SliceHeader" && sel.Sel.Name != "StringHeader" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "reflect" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "reflect.%s is banned: use unsafe.Slice/unsafe.String inside internal/layout instead", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

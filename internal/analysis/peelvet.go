@@ -1,0 +1,15 @@
+package analysis
+
+// Analyzers returns the peelvet suite in reporting order: every
+// invariant the repository enforces at compile time. cmd/peelvet runs
+// exactly this list, and TestPeelvetRepoClean asserts the tree at head
+// is clean under it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoSpawn,
+		CtxBarrier,
+		NoUnsafe,
+		NoPanic,
+		AtomicShard,
+	}
+}

@@ -1,0 +1,80 @@
+// Package atomicshard is analysistest input: scalars accessed both via
+// sync/atomic and plainly, versus the sharded-array idiom that is out
+// of scope.
+package atomicshard
+
+import "sync/atomic"
+
+type table struct {
+	gen  uint64
+	hits int64
+}
+
+var generation uint64
+
+func (t *table) bump() {
+	atomic.AddUint64(&t.gen, 1)
+	atomic.AddInt64(&t.hits, 1)
+	atomic.AddUint64(&generation, 1)
+}
+
+func (t *table) read() uint64 {
+	return t.gen // want `plain access to gen`
+}
+
+func (t *table) reset() {
+	t.gen = 0 // want `plain access to gen`
+	atomic.StoreInt64(&t.hits, 0)
+}
+
+func snapshot() uint64 {
+	return generation // want `plain access to generation`
+}
+
+func loadAll(t *table) (uint64, int64, uint64) {
+	return atomic.LoadUint64(&t.gen), atomic.LoadInt64(&t.hits), atomic.LoadUint64(&generation)
+}
+
+func unpublished() *table {
+	t := &table{}
+	t.gen = 1 //peelvet:allow atomicshard -- not yet published to another goroutine
+	return t
+}
+
+type cell struct {
+	count int64
+}
+
+// sharded is the repository's phase idiom: a parallel phase updates
+// cells through atomics, a later serial phase owns the array. Indexed
+// targets are deliberately untracked.
+func sharded(cells []cell) int64 {
+	for i := range cells {
+		atomic.AddInt64(&cells[i].count, 1)
+	}
+	var sum int64
+	for i := range cells {
+		sum += cells[i].count
+	}
+	return sum
+}
+
+// peek reaches count through a parameter, not a receiver: the derived-
+// pointer shape of phase-idiom helpers. The field stays untracked, so
+// serial-phase owners may read it plainly.
+func peek(c *cell) int64 {
+	return atomic.LoadInt64(&c.count)
+}
+
+func ownSerialPhase(cells []cell) int64 {
+	var sum int64
+	for i := range cells {
+		sum += cells[i].count
+	}
+	return sum + peek(&cells[0])
+}
+
+// untouched fields and variables with no atomic history never fire.
+type plain struct{ n int }
+
+func bumpPlain(p *plain) { p.n++ }

@@ -1,0 +1,104 @@
+// Package ctxbarrier is analysistest input: round loops over pool
+// barriers with and without cancellation checks. The local Pool stands
+// in for internal/parallel.Pool — the analyzer matches barrier methods
+// by receiver type name.
+package ctxbarrier
+
+import "context"
+
+type Pool struct{}
+
+func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {}
+func (p *Pool) Run(fn func(w int))                       {}
+func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(w, lo, hi int)) error {
+	return ctx.Err()
+}
+
+// BadCtx crosses barriers in a loop without ever consulting ctx: after
+// cancellation it still runs every remaining round.
+func BadCtx(ctx context.Context, p *Pool, rounds int) {
+	for i := 0; i < rounds; i++ { // want `round loop in BadCtx crosses pool barriers without consulting ctx`
+		p.For(100, 10, func(w, lo, hi int) {})
+	}
+}
+
+// GoodCtx checks ctx at each round barrier.
+func GoodCtx(ctx context.Context, p *Pool, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.For(100, 10, func(w, lo, hi int) {})
+	}
+	return nil
+}
+
+// GoodBarrierCtx consults ctx by calling the ctx-aware barrier itself.
+func GoodBarrierCtx(ctx context.Context, p *Pool, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := p.ForCtx(ctx, 100, 10, func(w, lo, hi int) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sweeper struct {
+	pool *Pool
+}
+
+// SweepCtx is the method form of the same bug.
+func (s *sweeper) SweepCtx(ctx context.Context, rounds int) {
+	for i := 0; i < rounds; i++ { // want `round loop in SweepCtx crosses pool barriers without consulting ctx`
+		s.pool.Run(func(w int) {})
+	}
+}
+
+// Dup forks the round loop instead of delegating to DupCtx: the two
+// copies will drift.
+func Dup(p *Pool, rounds int) {
+	for i := 0; i < rounds; i++ { // want `Dup duplicates a round loop although DupCtx exists`
+		p.Run(func(w int) {})
+	}
+}
+
+// DupCtx is the cancellable variant Dup should delegate to.
+func DupCtx(ctx context.Context, p *Pool, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.Run(func(w int) {})
+	}
+	return nil
+}
+
+// Delegate is the correct non-Ctx shape: one line, no loop.
+func Delegate(p *Pool, rounds int) {
+	_ = DelegateCtx(context.Background(), p, rounds)
+}
+
+// DelegateCtx owns the only copy of the loop.
+func DelegateCtx(ctx context.Context, p *Pool, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.For(100, 10, func(w, lo, hi int) {})
+	}
+	return nil
+}
+
+// Solo has no Ctx sibling, so its loop is legal (it predates the
+// context plumbing; ctxbarrier only stops new duplication).
+func Solo(p *Pool, rounds int) {
+	for i := 0; i < rounds; i++ {
+		p.Run(func(w int) {})
+	}
+}
+
+// LooplessCtx never loops; a single barrier call needs no in-loop
+// check (the caller's barrier checks cover it).
+func LooplessCtx(ctx context.Context, p *Pool) error {
+	return p.ForCtx(ctx, 100, 10, func(w, lo, hi int) {})
+}

@@ -1,0 +1,54 @@
+// Package nopanic is analysistest input: panics in library code versus
+// documented programmer-error guards.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNegative is the sentinel bad inputs should wrap instead of
+// panicking.
+var ErrNegative = errors.New("nopanic: negative input")
+
+func undocumented(x int) int {
+	if x < 0 {
+		panic("negative") // want `panic in library code`
+	}
+	return x * 2
+}
+
+func converted(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("doubling %d: %w", x, ErrNegative)
+	}
+	return x * 2, nil
+}
+
+// Guard validates a table order. Panics if x < 0 — misuse is a
+// programmer error, documented as part of the contract the way
+// math/rand.Intn's is.
+func Guard(x int) int {
+	if x < 0 {
+		panic("nopanic: negative order")
+	}
+	return x
+}
+
+func inClosure() func() {
+	return func() {
+		panic("boom") // want `panic in library code`
+	}
+}
+
+// Must unwraps (v, err) pairs at the application layer. Panics if err
+// is non-nil; closures inside inherit the documented contract.
+func Must(v int, err error) int {
+	check := func() {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check()
+	return v
+}

@@ -1,0 +1,9 @@
+package nopanic
+
+// Test files are exempt: a test may panic to fail fast.
+func mustPositive(x int) int {
+	if x < 0 {
+		panic("test helper: negative")
+	}
+	return x
+}

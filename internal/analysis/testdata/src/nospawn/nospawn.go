@@ -1,0 +1,29 @@
+// Package nospawn is analysistest input: raw go statements that must
+// be flagged, and the shapes that must not be.
+package nospawn
+
+func work() {}
+
+func spawns() {
+	go work() // want `raw go statement`
+	ch := make(chan int)
+	go func() { ch <- 1 }() // want `raw go statement`
+	<-ch
+}
+
+func nested() {
+	f := func() {
+		go work() // want `raw go statement`
+	}
+	f()
+}
+
+func suppressed() {
+	go work() //peelvet:allow nospawn -- testdata: demonstrates in-place suppression
+}
+
+// plain calls and deferred calls are not spawns.
+func notSpawns() {
+	work()
+	defer work()
+}

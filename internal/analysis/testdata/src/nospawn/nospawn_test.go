@@ -1,0 +1,9 @@
+package nospawn
+
+// Test files are exempt: tests may spawn goroutines directly to stage
+// concurrency scenarios.
+func testHelperSpawn() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,27 @@
+// Package nounsafe is analysistest input: unsafe aliasing outside
+// internal/layout.
+package nounsafe
+
+import (
+	"reflect"
+	"unsafe" // want `import of unsafe outside internal/layout`
+)
+
+func alias(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+func header(s []int) int {
+	h := (*reflect.SliceHeader)(unsafe.Pointer(&s)) // want `reflect.SliceHeader is banned`
+	return int(h.Len)
+}
+
+func strHeader(s string) int {
+	h := (*reflect.StringHeader)(unsafe.Pointer(&s)) // want `reflect.StringHeader is banned`
+	return int(h.Len)
+}
+
+// reflection itself is fine; only the raw headers are banned.
+func kind(v any) reflect.Kind {
+	return reflect.ValueOf(v).Kind()
+}

@@ -1,0 +1,16 @@
+// Package suppress is analysistest input for the suppression comment
+// machinery itself, exercised through the nospawn analyzer.
+package suppress
+
+func work() {}
+
+func spawns() {
+	go work() //peelvet:allow nospawn -- demonstration: trailing comment suppresses its line
+
+	//peelvet:allow nospawn -- demonstration: standalone comment covers the next line
+	go work()
+
+	go work() //peelvet:allow nospawn // want `raw go statement` `peelvet:allow needs a reason`
+
+	go work() //peelvet:allow nounsafe -- wrong analyzer, not suppressed // want `raw go statement`
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the cmd/go vet-tool protocol, the peelvet
+// equivalent of golang.org/x/tools/go/analysis/unitchecker: when cmd/go
+// runs `go vet -vettool=peelvet ./...` it invokes the tool once per
+// package with a single @file argument naming a JSON "vet config" that
+// carries the file list and the export-data locations of every
+// dependency (cmd/go has already built them). The tool type-checks the
+// unit from that config, runs the analyzers, prints diagnostics to
+// stderr, and must write the VetxOutput facts file (empty here — the
+// peelvet analyzers are package-local and exchange no facts).
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker exit codes, matching x/tools unitchecker: cmd/go treats
+// any nonzero exit as "vet failed" and relays stderr.
+const (
+	ExitClean    = 0
+	ExitError    = 1
+	ExitFindings = 2
+)
+
+// RunUnitchecker executes one vet unit described by the config file at
+// cfgPath, running analyzers over it and printing diagnostics to stderr.
+// It returns the process exit code.
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "peelvet: reading vet config: %v\n", err)
+		return ExitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "peelvet: parsing vet config %s: %v\n", cfgPath, err)
+		return ExitError
+	}
+
+	// The facts file must exist even for fact-free tools — cmd/go caches
+	// it and refuses to proceed without it.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "peelvet: writing %s: %v\n", cfg.VetxOutput, err)
+			return false
+		}
+		return true
+	}
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return ExitError
+		}
+		return ExitClean
+	}
+
+	fset, diags, typeErrs, err := checkUnit(&cfg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "peelvet: %s: %v\n", cfg.ImportPath, err)
+		return ExitError
+	}
+	if len(typeErrs) > 0 && cfg.SucceedOnTypecheckFailure {
+		// cmd/go sets this when the package is known not to compile; the
+		// real build error is reported elsewhere.
+		writeVetx()
+		return ExitClean
+	}
+	if !writeVetx() {
+		return ExitError
+	}
+	for _, err := range typeErrs {
+		fmt.Fprintf(stderr, "peelvet: %s: %v\n", cfg.ImportPath, err)
+	}
+	if len(typeErrs) > 0 {
+		return ExitError
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// checkUnit parses and type-checks the unit and runs the analyzers.
+func checkUnit(cfg *vetConfig, analyzers []*Analyzer) (*token.FileSet, []Diagnostic, []error, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := newUnitImporter(fset, cfg)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if conf.Sizes == nil {
+		conf.Sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+
+	diags, err := RunAnalyzers(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return fset, diags, typeErrs, nil
+}
+
+// newUnitImporter resolves imports through the export-data files cmd/go
+// listed in the vet config. ImportMap translates source-level import
+// paths (possibly vendored) to canonical package paths; PackageFile maps
+// canonical paths to export data.
+func newUnitImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return base.Import(path)
+	})
+}
+
+// PrintVersion implements the -V=full handshake cmd/go uses to build the
+// vet cache key. The output format ("name version ...") is prescribed;
+// the version token folds in the analyzer names so adding an analyzer
+// invalidates cached vet results.
+func PrintVersion(w io.Writer, name string, analyzers []*Analyzer) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	fmt.Fprintf(w, "%s version devel-%s buildID=none\n", name, strings.Join(names, "+"))
+}
+
+// PrintFlags implements the -flags handshake: cmd/go asks the tool which
+// flags it supports before forwarding any. Peelvet takes none, so the
+// answer is an empty JSON array.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeUnit builds a vet-config unit around one source file and returns
+// the config path and the VetxOutput path.
+func writeUnit(t *testing.T, src string, succeedOnTypecheckFailure bool) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "unit.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:                        "tmpvet",
+		Compiler:                  "gc",
+		Dir:                       dir,
+		ImportPath:                "tmpvet",
+		GoFiles:                   []string{goFile},
+		VetxOutput:                vetx,
+		SucceedOnTypecheckFailure: succeedOnTypecheckFailure,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetx
+}
+
+func TestUnitcheckerFindings(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, "package tmpvet\n\nfunc f() {\n\tgo func() {}()\n}\n", false)
+	var stderr bytes.Buffer
+	code := RunUnitchecker(cfgPath, []*Analyzer{NoSpawn}, &stderr)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitFindings, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nospawn") {
+		t.Errorf("stderr missing nospawn diagnostic: %s", stderr.String())
+	}
+	// The facts file must exist even when there are findings — cmd/go
+	// caches it.
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestUnitcheckerClean(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, "package tmpvet\n\nfunc f() int { return 1 }\n", false)
+	var stderr bytes.Buffer
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitClean, stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestUnitcheckerTypecheckFailure(t *testing.T) {
+	const broken = "package tmpvet\n\nfunc f() int { return undefined }\n"
+
+	var stderr bytes.Buffer
+	cfgPath, _ := writeUnit(t, broken, false)
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitError {
+		t.Errorf("exit = %d, want %d for a broken unit", code, ExitError)
+	}
+
+	// With SucceedOnTypecheckFailure the real compile error is reported
+	// by the build itself; vet must stay silent and succeed.
+	stderr.Reset()
+	cfgPath, vetx := writeUnit(t, broken, true)
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitClean {
+		t.Errorf("exit = %d, want %d with SucceedOnTypecheckFailure", code, ExitClean)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected output: %s", stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestUnitcheckerVetxOnly(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, "package tmpvet\n\nfunc f() {\n\tgo func() {}()\n}\n", false)
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.VetxOnly = true
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitClean {
+		t.Fatalf("exit = %d, want %d in VetxOnly mode\nstderr: %s", code, ExitClean, stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}

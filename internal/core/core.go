@@ -64,6 +64,7 @@ type Result struct {
 // condition for all the data-structure applications.
 func (r *Result) Empty() bool { return r.CoreVertices == 0 && r.CoreEdges == 0 }
 
+// validateK panics if k is not a valid core order (k >= 1).
 func validateK(k int) {
 	if k < 1 {
 		panic(fmt.Sprintf("core: k = %d must be >= 1", k))

@@ -41,7 +41,8 @@ func SubtablesOriented(g *hypergraph.Hypergraph, k int, opts Options) (*Result, 
 
 // SubtablesOrientedCtx is SubtablesOriented with cooperative
 // cancellation, checked at every subround barrier. On cancellation it
-// returns (nil, nil, ctx.Err()).
+// returns (nil, nil, ctx.Err()). Panics if g is not partitioned, as in
+// SubtablesCtx.
 func SubtablesOrientedCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*Result, *Orientation, error) {
 	if g.SubtableSize == 0 {
 		panic("core: SubtablesOriented requires a partitioned hypergraph")

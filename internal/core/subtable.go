@@ -31,7 +31,8 @@ func Subtables(g *hypergraph.Hypergraph, k int, opts Options) *Result {
 // SubtablesCtx is Subtables with cooperative cancellation, checked at
 // every subround barrier (a finer grain than the full-round barrier of
 // ParallelCtx, matching the subround structure). On cancellation it
-// returns (nil, ctx.Err()).
+// returns (nil, ctx.Err()). Panics if g is not partitioned — the
+// subround schedule is meaningless without subtables.
 func SubtablesCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*Result, error) {
 	if g.SubtableSize == 0 {
 		panic("core: Subtables requires a partitioned hypergraph")

@@ -50,7 +50,9 @@ type Code struct {
 
 // NewCode returns a code with the given number of check cells and r hash
 // positions per data symbol (r in [3, 8]; r = 2's threshold c*(2,2) is
-// degenerate and excluded, as in the paper).
+// degenerate and excluded, as in the paper). Panics if r is outside
+// [3, 8] or cells is non-positive — both are static configuration bugs,
+// not runtime conditions.
 func NewCode(cells, r int, seed uint64) *Code {
 	if r < 3 || r > 8 {
 		panic(fmt.Sprintf("erasure: r = %d outside [3, 8]", r))
@@ -165,18 +167,33 @@ func (c *Code) applyAtomic(cells []Cell, i int, v uint64, pos []int, delta int32
 // hypergraph had a non-empty 2-core (loss rate above the threshold).
 var ErrDecodeFailed = errors.New("erasure: peeling stalled; too many erasures")
 
+// ErrShapeMismatch reports that a decode call's slices do not match the
+// code's configuration: data and present differ in length, or the check
+// block is not Cells() long.
+var ErrShapeMismatch = errors.New("erasure: decode input shape mismatch")
+
+// checkShape validates the decode inputs shared by Decode and DecodeCtx.
+func (c *Code) checkShape(data []uint64, present []bool, checks []Cell) error {
+	if len(data) != len(present) {
+		return fmt.Errorf("%w: data/present length %d != %d", ErrShapeMismatch, len(data), len(present))
+	}
+	if len(checks) != c.cells {
+		return fmt.Errorf("%w: check block length %d != %d cells", ErrShapeMismatch, len(checks), c.cells)
+	}
+	return nil
+}
+
 // Decode reconstructs the missing entries of data in place. present[i]
 // reports whether data[i] survived the channel; checks is the full check
 // block (assumed intact, as in the Biff code model). On success every
 // entry of data is restored and present is all true. On failure
 // ErrDecodeFailed is returned and any symbols recovered before the stall
-// are filled in (present marks them).
+// are filled in (present marks them). Mis-shaped inputs (data/present
+// length mismatch, or a check block that is not Cells() long) return an
+// error wrapping ErrShapeMismatch.
 func (c *Code) Decode(data []uint64, present []bool, checks []Cell) error {
-	if len(data) != len(present) {
-		panic("erasure: data/present length mismatch")
-	}
-	if len(checks) != c.cells {
-		panic("erasure: wrong check block size")
+	if err := c.checkShape(data, present, checks); err != nil {
+		return err
 	}
 	// Subtract every received symbol; what remains is an IBLT of the
 	// missing ones.
@@ -213,13 +230,11 @@ func (c *Code) DecodeWithPool(data []uint64, present []bool, checks []Cell, pool
 // DecodeCtx is DecodeWithPool with cooperative cancellation, checked
 // inside the subtraction pass and at every peeling round barrier. On
 // cancellation it returns ctx.Err(); data and present are then partially
-// updated and must be treated as abandoned.
+// updated and must be treated as abandoned. Mis-shaped inputs return an
+// error wrapping ErrShapeMismatch, as in Decode.
 func (c *Code) DecodeCtx(ctx context.Context, data []uint64, present []bool, checks []Cell, pool *parallel.Pool) error {
-	if len(data) != len(present) {
-		panic("erasure: data/present length mismatch")
-	}
-	if len(checks) != c.cells {
-		panic("erasure: wrong check block size")
+	if err := c.checkShape(data, present, checks); err != nil {
+		return err
 	}
 	work := make([]Cell, c.cells)
 	copy(work, checks)

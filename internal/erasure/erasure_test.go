@@ -1,6 +1,7 @@
 package erasure
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -157,14 +158,6 @@ func TestValidation(t *testing.T) {
 		"r too small": func() { NewCode(100, 2, 0) },
 		"r too big":   func() { NewCode(100, 9, 0) },
 		"no cells":    func() { NewCode(0, 3, 0) },
-		"mask mismatch": func() {
-			c := NewCode(16, 3, 0)
-			c.Decode(make([]uint64, 4), make([]bool, 5), make([]Cell, 16))
-		},
-		"check size": func() {
-			c := NewCode(16, 3, 0)
-			c.Decode(make([]uint64, 4), make([]bool, 4), make([]Cell, 15))
-		},
 	} {
 		func() {
 			defer func() {
@@ -174,6 +167,24 @@ func TestValidation(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestDecodeShapeMismatch(t *testing.T) {
+	c := NewCode(16, 3, 0)
+	for name, err := range map[string]error{
+		"mask mismatch": c.Decode(make([]uint64, 4), make([]bool, 5), make([]Cell, 16)),
+		"check size":    c.Decode(make([]uint64, 4), make([]bool, 4), make([]Cell, 15)),
+	} {
+		if !errors.Is(err, ErrShapeMismatch) {
+			t.Errorf("%s: got %v, want ErrShapeMismatch", name, err)
+		}
+	}
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	err := c.DecodeCtx(context.Background(), make([]uint64, 4), make([]bool, 5), make([]Cell, 16), pool)
+	if !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("DecodeCtx: got %v, want ErrShapeMismatch", err)
 	}
 }
 

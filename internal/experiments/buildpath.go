@@ -90,9 +90,7 @@ func RunBuildPath(cfg BuildPathConfig) []BuildPathRow {
 				core.ParallelOrder(g, 2, core.Options{Pool: wPool})
 			}),
 			BuildW: best(func() {
-				if _, err := mphf.BuildWithPool(keys, cfg.Gamma, cfg.Seed, 10, wPool); err != nil {
-					panic(err)
-				}
+				must(mphf.BuildWithPool(keys, cfg.Gamma, cfg.Seed, 10, wPool))
 			}),
 		})
 	}

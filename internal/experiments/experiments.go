@@ -33,6 +33,15 @@ func must[T any](v T, err error) T {
 	return v
 }
 
+// must2 is must for three-value returns like PredictRounds: it panics on
+// a non-nil error and passes the first two results through.
+func must2[A, B any](a A, b B, err error) (A, B) {
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
 // Table1Config parameterizes the Table 1 sweep: average parallel peeling
 // rounds and failure counts as n grows, for several edge densities.
 type Table1Config struct {

@@ -147,10 +147,7 @@ func RunNuSweep(cfg NuSweepConfig) *NuSweepResult {
 	for _, nu := range cfg.Nus {
 		c := cstar - nu
 		p := recurrence.Params{K: cfg.K, R: cfg.R, C: c}
-		rounds, ok, err := p.PredictRounds(cfg.N, cfg.MaxRounds)
-		if err != nil {
-			panic(err)
-		}
+		rounds, ok := must2(p.PredictRounds(cfg.N, cfg.MaxRounds))
 		if !ok {
 			rounds = cfg.MaxRounds
 		}

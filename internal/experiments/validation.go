@@ -71,10 +71,7 @@ func RunEmpiricalNu(cfg EmpiricalNuConfig) *EmpiricalNuResult {
 			}
 			return float64(r.Rounds)
 		})
-		pred, _, err := recurrence.Params{K: cfg.K, R: cfg.R, C: c}.PredictRounds(float64(cfg.N), 1<<20)
-		if err != nil {
-			panic(err)
-		}
+		pred, _ := must2(recurrence.Params{K: cfg.K, R: cfg.R, C: c}.PredictRounds(float64(cfg.N), 1<<20))
 		res.Rows = append(res.Rows, EmpiricalNuRow{
 			Nu: nu, C: c,
 			MeanRounds: stats.Summarize(rounds).Mean,

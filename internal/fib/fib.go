@@ -43,6 +43,7 @@ func Sequence(d, n int) []float64 {
 // of x^d = x^{d-1} + x^{d-2} + ... + 1 for d >= 2. For d = 1 the sequence
 // is constant and the rate is 1. φ_2 is the golden ratio ≈ 1.618; φ_d
 // approaches 2 from below as d grows (φ_3 ≈ 1.839, φ_4 ≈ 1.928).
+// Panics if d < 1.
 func GrowthRate(d int) float64 {
 	if d < 1 {
 		panic(fmt.Sprintf("fib: order %d < 1", d))
@@ -72,6 +73,8 @@ func GrowthRate(d int) float64 {
 	return (lo + hi) / 2
 }
 
+// validateSubtable panics if (k, r) is outside the regime the subtable
+// bounds are stated for (k >= 2, r >= 3).
 func validateSubtable(k, r int) {
 	if r < 3 {
 		panic("fib: subtable bounds require r >= 3")
@@ -101,6 +104,7 @@ func SubroundLeadConstant(k, r int) float64 {
 // headline comparison for k = 2: peeling with subtables costs this factor
 // more subrounds than plain peeling costs rounds (≈ 1.456 for r = 3, and
 // approaching log₂(r−1) as r grows) — far below the naive factor of r.
+// Panics if r < 3.
 func SubroundOverheadFactor(r int) float64 {
 	if r < 3 {
 		panic("fib: subtable bounds require r >= 3")

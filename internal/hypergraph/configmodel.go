@@ -36,7 +36,10 @@ func ConfigurationModel(degrees []int32, r int, gen *rng.RNG) *Hypergraph {
 }
 
 // ConfigurationModelWithPool is ConfigurationModel with the CSR build on
-// an explicit worker pool.
+// an explicit worker pool. It carries ConfigurationModel's panic
+// contract: panics if r is outside [2, MaxArity], a degree is negative,
+// or the degree sequence is too concentrated to repair into
+// distinct-vertex edges.
 func ConfigurationModelWithPool(degrees []int32, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	n := len(degrees)
 	if r < 2 || r > MaxArity {

@@ -106,6 +106,9 @@ func (g *Hypergraph) EdgeDensity() float64 {
 	return float64(g.M) / float64(g.N)
 }
 
+// validate is the shared generator guard. Panics if r is outside
+// [2, MaxArity], n is smaller than r, or m is negative — configuration
+// bugs in the caller, not data-dependent conditions.
 func validate(n, m, r int) {
 	if r < 2 || r > MaxArity {
 		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))
@@ -160,7 +163,8 @@ func Binomial(n int, c float64, r int, gen *rng.RNG) *Hypergraph {
 	return BinomialWithPool(n, c, r, gen, parallel.Default())
 }
 
-// BinomialWithPool is Binomial on an explicit worker pool.
+// BinomialWithPool is Binomial on an explicit worker pool. Panics if the
+// edge density c is negative.
 func BinomialWithPool(n int, c float64, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	if c < 0 {
 		panic("hypergraph: negative edge density")
@@ -178,7 +182,8 @@ func Partitioned(n, m, r int, gen *rng.RNG) *Hypergraph {
 	return PartitionedWithPool(n, m, r, gen, parallel.Default())
 }
 
-// PartitionedWithPool is Partitioned on an explicit worker pool.
+// PartitionedWithPool is Partitioned on an explicit worker pool. Panics
+// if (n, m, r) is malformed (see validate) or n is not divisible by r.
 func PartitionedWithPool(n, m, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	validate(n, m, r)
 	if n%r != 0 {
@@ -223,7 +228,9 @@ func FromEdges(n, r int, edges []uint32, subtableSize int) *Hypergraph {
 }
 
 // FromEdgesWithPool is FromEdges on an explicit worker pool (validation
-// and the CSR build parallelize over the edge list).
+// and the CSR build parallelize over the edge list). It carries
+// FromEdges's panic contract: panics if r is out of range, the edge list
+// length is not a multiple of r, or a vertex id is out of range.
 func FromEdgesWithPool(n, r int, edges []uint32, subtableSize int, pool *parallel.Pool) *Hypergraph {
 	if r < 2 || r > MaxArity {
 		panic(fmt.Sprintf("hypergraph: arity %d outside [2, %d]", r, MaxArity))

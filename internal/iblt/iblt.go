@@ -56,8 +56,8 @@ type Table struct {
 
 // New returns an empty table with r subtables and at least cells cells in
 // total (rounded up to a multiple of r). r must be in [2, 8] and cells
-// positive. Two tables built with the same (cells, r, seed) are
-// compatible for Subtract.
+// positive; New panics otherwise. Two tables built with the same
+// (cells, r, seed) are compatible for Subtract.
 func New(cells, r int, seed uint64) *Table {
 	if r < 2 || r > 8 {
 		panic(fmt.Sprintf("iblt: r = %d outside [2, 8]", r))
@@ -103,6 +103,8 @@ func (t *Table) cellIndex(x uint64, j int) int {
 // checksum returns the per-key checksum mixed with an independent seed.
 func (t *Table) checksum(x uint64) uint64 { return rng.Mix64(x ^ t.cseed) }
 
+// checkKey panics if x is the zero key, which XOR accounting cannot
+// represent.
 func (t *Table) checkKey(x uint64) {
 	if x == 0 {
 		panic("iblt: zero key is not representable (XOR identity)")
@@ -197,8 +199,9 @@ func (t *Table) Clone() *Table {
 }
 
 // Subtract replaces t with the cell-wise difference t − other. The two
-// tables must share geometry and seed. After subtraction, decoding yields
-// the symmetric difference of the two encoded sets.
+// tables must share geometry and seed; Subtract panics if they do not.
+// After subtraction, decoding yields the symmetric difference of the two
+// encoded sets.
 func (t *Table) Subtract(other *Table) {
 	if t.r != other.r || t.subSize != other.subSize || t.seed != other.seed {
 		panic("iblt: subtracting incompatible tables")

@@ -102,7 +102,8 @@ func (e *StrataEstimator) insertAllCtx(ctx context.Context, keys []uint64, pool 
 	})
 }
 
-// Subtract replaces e with the stratum-wise difference e − other.
+// Subtract replaces e with the stratum-wise difference e − other. Panics
+// if the estimators were built with different seeds.
 func (e *StrataEstimator) Subtract(other *StrataEstimator) {
 	if e.seed != other.seed {
 		panic("iblt: subtracting incompatible strata estimators")

@@ -189,6 +189,9 @@ func NewBloomier(seed uint64, hseed [Arity]uint64, keys, subSize int) *Image {
 	return newImage(KindBloomier, seed, hseed, keys, subSize)
 }
 
+// newImage allocates the aligned backing buffer. Panics if the geometry
+// is invalid — the exported builders guarantee both arguments, so a trip
+// here is a bug in this package, not bad input.
 func newImage(kind Kind, seed uint64, hseed [Arity]uint64, keys, subSize int) *Image {
 	if subSize < 2 || keys < 0 || keys > subSize*Arity {
 		panic(fmt.Sprintf("layout: invalid geometry keys=%d subSize=%d", keys, subSize))

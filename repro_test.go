@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -10,7 +11,10 @@ import (
 
 func TestFacadePeelBelowThreshold(t *testing.T) {
 	g := NewUniformHypergraph(100000, 70000, 4, 1)
-	res := PeelParallel(g, 2)
+	res, err := DefaultRuntime().Peel(context.Background(), g, 2, PeelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Empty() {
 		t.Fatal("facade parallel peel failed below threshold")
 	}

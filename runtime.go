@@ -362,6 +362,7 @@ func (rt *Runtime) Go(ctx context.Context, job func(ctx context.Context, pool *W
 		return nil, err
 	}
 	errc := make(chan error, 1)
+	//peelvet:allow nospawn -- this is Runtime.Go itself: the job is already admitted, registered with the pool via execute (drain accounting), and panic-isolated at the job boundary
 	go func() {
 		defer cancel()
 		defer rt.finish()
@@ -409,6 +410,7 @@ func (rt *Runtime) Shutdown(ctx context.Context) error {
 	case <-idle:
 		return rc.pool.Shutdown(ctx)
 	case <-ctx.Done():
+		//peelvet:allow nospawn -- shutdown plumbing: the background drain outlives every job (nothing left to isolate) and its failure is surfaced via Stats().ShutdownErrors
 		go func() {
 			<-idle
 			if err := rc.pool.Shutdown(context.Background()); err != nil {

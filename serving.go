@@ -3,11 +3,11 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
-	"unsafe"
 
 	"repro/internal/bloomier"
 	"repro/internal/faultinject"
@@ -106,13 +106,12 @@ type StaticTable struct {
 // generation with Swap (or Runtime.RebuildStaticMap / RebuildMPHF).
 func NewStaticTable() *StaticTable { return &StaticTable{} }
 
-// pinHint picks a pin shard. Distinct goroutines have distinct stacks,
-// so a stack address spreads concurrent readers across shards without
-// needing a goroutine ID; the low bits (within-frame offsets) are
-// discarded.
+// pinHint picks a pin shard. math/rand/v2's top-level generator draws
+// from a per-P state, so concurrent readers spread across shards with
+// no shared cache line on the hint itself — and no unsafe stack-address
+// probing (the pin/unpin pair uses the one hint, so any spread works).
 func pinHint() int {
-	var probe byte
-	return int(uintptr(unsafe.Pointer(&probe))>>10) & (pinShards - 1)
+	return int(rand.Uint64()) & (pinShards - 1)
 }
 
 // pin resolves and pins the current generation. The recheck after the

@@ -1,15 +1,25 @@
 // Command peelvet runs the repository's invariant analyzers (see
-// internal/analysis): nospawn, ctxbarrier, nounsafe, nopanic, and
-// atomicshard.
+// internal/analysis): nospawn, ctxbarrier, nounsafe, nopanic,
+// atomicshard, detflow, hotalloc, and nodeprecated, plus the always-on
+// suppression-hygiene check reported as "peelvet".
 //
 // It speaks two protocols:
 //
-//   - Standalone: `peelvet [-tags=...] [packages]` loads the packages
-//     (default ./..., test files included) itself and prints findings.
-//     CI runs it this way.
+//   - Standalone: `peelvet [-tags=...] [-json] [packages]` loads the
+//     packages (default ./..., test files included) itself, analyzes
+//     them in dependency order so analyzer facts flow from each package
+//     to its importers, and prints findings sorted by position. CI runs
+//     it this way.
 //   - Vet tool: `go vet -vettool=$(which peelvet) ./...` — cmd/go drives
 //     the tool one package at a time through the @cfg unit-checker
-//     protocol, reusing the build cache for type information.
+//     protocol, reusing the build cache for type information and for
+//     the .vetx fact files inter-procedural analyzers exchange.
+//
+// With -json, each diagnostic is one JSON object on its own line —
+// file, line, column, analyzer, message, suppressed — including
+// findings a //peelvet:allow directive covers (suppressed=true), so CI
+// can audit the live exception list; text output and the exit status
+// skip suppressed findings.
 //
 // Exit status is 0 when clean, 2 when there are findings, and 1 when
 // loading or type-checking fails (a broken tree is never reported as
@@ -17,19 +27,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonDiagnostic is the -json wire form of one finding, one object per
+// line.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
 	checkers := analysis.Analyzers()
 
 	// cmd/go handshakes: version for the vet cache key, flags before
@@ -37,23 +60,25 @@ func run(args []string) int {
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
-			analysis.PrintVersion(os.Stdout, "peelvet", checkers)
+			analysis.PrintVersion(stdout, "peelvet", checkers)
 			return 0
 		case args[0] == "-flags" || args[0] == "--flags":
-			analysis.PrintFlags(os.Stdout)
+			analysis.PrintFlags(stdout)
 			return 0
 		case strings.HasSuffix(args[0], ".cfg"):
 			// cmd/go invokes the tool once per package with the bare path
 			// of its vet config file as the sole argument.
-			return analysis.RunUnitchecker(args[0], checkers, os.Stderr)
+			return analysis.RunUnitchecker(args[0], checkers, stderr)
 		}
 	}
 
 	fs := flag.NewFlagSet("peelvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	tags := fs.String("tags", "", "comma-separated build tags, as for go build")
 	noTests := fs.Bool("notests", false, "skip _test.go files")
+	asJSON := fs.Bool("json", false, "emit one JSON object per diagnostic (suppressed findings included)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: peelvet [-tags=list] [-notests] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: peelvet [-tags=list] [-notests] [-json] [packages]\n")
 		fmt.Fprintf(fs.Output(), "   or: go vet -vettool=$(which peelvet) [packages]\n\nAnalyzers:\n")
 		for _, a := range checkers {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -75,29 +100,77 @@ func run(args []string) int {
 	}
 	pkgs, err := analysis.Load(cfg, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "peelvet: %v\n", err)
+		fmt.Fprintf(stderr, "peelvet: %v\n", err)
 		return analysis.ExitError
 	}
 
+	// Analyze in the order Load returns — "go list -deps" order, every
+	// dependency before its importers — threading one fact store through
+	// the run so detflow/hotalloc/nodeprecated verdicts cross package
+	// boundaries. Diagnostics are collected globally and sorted so output
+	// is deterministic across runs and package orderings.
+	store := analysis.NewFactStore()
 	status := analysis.ExitClean
+	type located struct {
+		d   analysis.Diagnostic
+		out jsonDiagnostic
+	}
+	var all []located
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "peelvet: %s: %v\n", pkg.ImportPath, terr)
+			fmt.Fprintf(stderr, "peelvet: %s: %v\n", pkg.ImportPath, terr)
 			status = analysis.ExitError
 		}
 		if len(pkg.TypeErrors) > 0 {
 			continue
 		}
-		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, checkers)
+		diags, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, checkers, store)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "peelvet: %v\n", err)
+			fmt.Fprintf(stderr, "peelvet: %v\n", err)
 			return analysis.ExitError
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			if status == analysis.ExitClean {
-				status = analysis.ExitFindings
+			pos := pkg.Fset.Position(d.Pos)
+			all = append(all, located{d: d, out: jsonDiagnostic{
+				File:       pos.Filename,
+				Line:       pos.Line,
+				Column:     pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			}})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].out, all[j].out
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	enc := json.NewEncoder(stdout)
+	for _, l := range all {
+		if *asJSON {
+			if err := enc.Encode(l.out); err != nil {
+				fmt.Fprintf(stderr, "peelvet: encoding diagnostic: %v\n", err)
+				return analysis.ExitError
 			}
+		}
+		if l.d.Suppressed {
+			continue
+		}
+		if !*asJSON {
+			fmt.Fprintf(stderr, "%s:%d:%d: %s: %s\n", l.out.File, l.out.Line, l.out.Column, l.out.Analyzer, l.out.Message)
+		}
+		if status == analysis.ExitClean {
+			status = analysis.ExitFindings
 		}
 	}
 	return status

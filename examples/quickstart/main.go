@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,13 +16,20 @@ func main() {
 	const n = 1 << 20 // vertices
 	const k, r = 2, 4
 
+	ctx := context.Background()
+	rt := repro.NewRuntime(repro.RuntimeOptions{})
+	defer rt.Shutdown(ctx)
+
 	cstar, _ := repro.Threshold(k, r)
 	fmt.Printf("threshold c*(%d,%d) = %.5f\n\n", k, r, cstar)
 
 	for _, c := range []float64{0.70, 0.85} {
 		m := int(c * n)
 		g := repro.NewUniformHypergraph(n, m, r, 42)
-		res := repro.PeelParallel(g, k)
+		res, err := rt.Peel(ctx, g, k, repro.PeelOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Printf("c = %.2f (%d edges): %d rounds, core = %d vertices / %d edges\n",
 			c, m, res.Rounds, res.CoreVertices, res.CoreEdges)

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzAllowDirective hammers the //peelvet:allow parser with arbitrary
+// comment text. The parser sits on untrusted input (every comment in
+// every analyzed file flows through it), so beyond not panicking it
+// must hold the invariants the suppression machinery relies on:
+//
+//   - prose is never mistaken for a directive — ok implies the text
+//     starts with the marker on a token boundary;
+//   - a well-formed result always carries at least one valid analyzer
+//     name, no duplicates, and a nonempty reason;
+//   - a directive that starts with the marker is never silently
+//     dropped: it parses as well-formed or as Malformed (which drivers
+//     report), never as not-a-directive.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//peelvet:allow nospawn -- lifecycle plumbing")
+	f.Add("//peelvet:allow nospawn,ctxbarrier -- two at once")
+	f.Add("//peelvet:allow nospawn nospawn -- duplicated name")
+	f.Add("//peelvet:allow nospawn")
+	f.Add("//peelvet:allow -- reason but no analyzers")
+	f.Add("//peelvet:allow , -- empty names")
+	f.Add("//peelvet:allowance is prose")
+	f.Add("//peelvet:allow")
+	f.Add("//peelvet:allow\tnospawn\t--\ttabs everywhere")
+	f.Add("// a normal comment")
+	f.Add("//peelvet:allow näme -- non-ascii name")
+	f.Add("//peelvet:allow a -- " + strings.Repeat("x", 1000))
+	f.Add("//peelvet:allow a,b,c,a,b -- dedup across tokens")
+	f.Add("//peelvet:allow a -- -- double separator")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseAllowDirective(text)
+
+		if !ok {
+			if d.Malformed || len(d.Analyzers) != 0 || d.Reason != "" {
+				t.Fatalf("not-a-directive must be zero valued, got %+v", d)
+			}
+			// A comment that begins with the marker followed by a space or
+			// tab IS a directive and must not fall through to prose.
+			if rest, found := strings.CutPrefix(text, allowMarker); found {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					t.Fatalf("%q starts a directive but parsed as prose", text)
+				}
+			}
+			return
+		}
+
+		if !strings.HasPrefix(text, allowMarker) {
+			t.Fatalf("%q parsed as a directive without the marker prefix", text)
+		}
+		if d.Malformed {
+			if len(d.Analyzers) != 0 {
+				t.Fatalf("malformed directive carries analyzers: %+v", d)
+			}
+			return
+		}
+		if len(d.Analyzers) == 0 {
+			t.Fatalf("well-formed directive with no analyzers: %q", text)
+		}
+		if d.Reason == "" {
+			t.Fatalf("well-formed directive with empty reason: %q", text)
+		}
+		seen := map[string]bool{}
+		for _, name := range d.Analyzers {
+			if !validAnalyzerName(name) {
+				t.Fatalf("invalid analyzer name %q accepted from %q", name, text)
+			}
+			if !utf8.ValidString(name) {
+				t.Fatalf("non-UTF-8 analyzer name from %q", text)
+			}
+			if seen[name] {
+				t.Fatalf("duplicate analyzer %q survived dedup in %q", name, text)
+			}
+			seen[name] = true
+		}
+	})
+}

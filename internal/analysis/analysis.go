@@ -22,15 +22,41 @@
 //     sync/atomic anywhere in a package must not also be accessed
 //     plainly — the class of race the pool's poison pointer and the
 //     serving generation counter are one typo away from.
+//   - detflow: functions reachable from a //peelvet:deterministic root
+//     (the build entry points whose outputs must be byte-identical at
+//     every worker count) must not range over maps, read clocks, draw
+//     unseeded randomness, iterate sync.Maps, or select across
+//     channels; verdicts cross package boundaries as Deterministic
+//     facts.
+//   - hotalloc: closures handed to the pool's chunked barriers
+//     (For/ForCtx/RunRanges/RunRangesCtx) must not allocate inside
+//     their per-element loops — per-worker and per-build allocation
+//     only; the Allocates fact sees through calls into other packages.
+//   - nodeprecated: non-test code must not call "Deprecated:" facades;
+//     the denylist is derived from doc comments and travels as a
+//     Deprecated fact, so a root-package facade is flagged in cmd/ and
+//     examples/ without hand-kept lists.
+//
+// A ninth always-on check, reported under the pseudo-analyzer name
+// "peelvet", enforces suppression hygiene: every //peelvet:allow
+// directive must name its analyzers and carry a " -- reason" clause.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
-// (Analyzer, Pass, Diagnostic, an analysistest equivalent, and the
-// "go vet -vettool" unit-checker protocol in cmd/peelvet) but is built
-// only on the standard library: the toolchain in this repository's
-// build environment has no module proxy access, so the framework loads
-// packages with "go list -export" and type-checks against the compiler's
-// export data via go/importer. Migrating an analyzer to the upstream
-// framework is a mechanical import swap.
+// (Analyzer, Pass, Diagnostic, object facts, an analysistest
+// equivalent, and the "go vet -vettool" unit-checker protocol in
+// cmd/peelvet) but is built only on the standard library: the toolchain
+// in this repository's build environment has no module proxy access, so
+// the framework loads packages with "go list -export" and type-checks
+// against the compiler's export data via go/importer. Migrating an
+// analyzer to the upstream framework is a mechanical import swap.
+//
+// Inter-procedural analyzers build on two layers in this package: a
+// facts system (facts.go) that serializes per-object conclusions across
+// package — and, under go vet, process — boundaries, and a lightweight
+// intra-loop control-flow graph (cfg.go) that makes ctxbarrier
+// path-sensitive. Analyzers declare the fact types they exchange in
+// Analyzer.FactTypes; drivers thread one FactStore through packages in
+// dependency order.
 //
 // A finding that is a reviewed, deliberate exception is suppressed in
 // place with a trailing comment naming the analyzer and the reason:
@@ -46,7 +72,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"sort"
 	"strings"
 )
@@ -63,6 +88,12 @@ type Analyzer struct {
 	// Doc is the analyzer's documentation: a one-line summary, a blank
 	// line, then details.
 	Doc string
+
+	// FactTypes lists prototypes of the fact types the analyzer exports
+	// or imports (see facts.go). A fact-using analyzer still runs when a
+	// package is analyzed for facts only (the unitchecker's VetxOnly
+	// mode), with diagnostics discarded.
+	FactTypes []Fact
 
 	// Run applies the analyzer to one package, reporting findings via
 	// pass.Report / pass.Reportf.
@@ -93,6 +124,10 @@ type Pass struct {
 	// Report delivers one diagnostic. The checker wires it; analyzer
 	// code usually calls Reportf.
 	Report func(Diagnostic)
+
+	// facts is the run-wide store backing ExportObjectFact and
+	// ImportObjectFact; nil when the driver runs fact-free.
+	facts *FactStore
 }
 
 // Path returns the package's import path.
@@ -109,21 +144,95 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // A Diagnostic is one finding: a position and a message. The checker
-// stamps the Analyzer field.
+// stamps the Analyzer field; Suppressed marks findings a //peelvet:allow
+// directive covered — dropped from text output and exit status, but
+// surfaced by -json so CI can audit live exceptions.
 type Diagnostic struct {
-	Pos      token.Pos
-	Message  string
-	Analyzer string
+	Pos        token.Pos
+	Message    string
+	Analyzer   string
+	Suppressed bool
 }
 
-// allowRe matches a suppression comment — anchored to the comment
-// start, so prose that merely mentions the marker never suppresses.
-// The reason clause after " -- " is mandatory; enforcing it keeps every
-// exception reviewable.
-var allowRe = regexp.MustCompile(`^//peelvet:allow\s+([A-Za-z0-9_,]+)(\s+--\s+\S.*)?`)
+// An AllowDirective is one parsed //peelvet:allow comment:
+//
+//	//peelvet:allow analyzer1,analyzer2 -- why this exception is safe
+//
+// Analyzer names may be comma- or space-separated; the " -- reason"
+// clause is mandatory (enforcing it keeps every exception reviewable).
+// A marker whose names or reason are missing or malformed parses with
+// Malformed set, which drivers report as a finding of the pseudo-
+// analyzer "peelvet".
+type AllowDirective struct {
+	Analyzers []string // deduplicated, declaration order
+	Reason    string
+	Malformed bool
+}
+
+// allowMarker introduces a suppression directive. Prose that merely
+// mentions it mid-comment never suppresses: the marker must start the
+// comment text.
+const allowMarker = "//peelvet:allow"
+
+// ParseAllowDirective parses one comment's text. ok reports whether the
+// comment is a directive at all (begins with the marker on a token
+// boundary); d.Malformed reports whether a directive is unusable.
+// Exported for the fuzz harness; drivers go through collectSuppressions.
+func ParseAllowDirective(text string) (d AllowDirective, ok bool) {
+	rest, found := strings.CutPrefix(text, allowMarker)
+	if !found || (rest != "" && !strings.ContainsAny(rest[:1], " \t")) {
+		// "//peelvet:allowance" is prose, not a directive.
+		return AllowDirective{}, false
+	}
+	tokens := strings.Fields(rest)
+	sep := -1
+	for i, tok := range tokens {
+		if tok == "--" {
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		return AllowDirective{Malformed: true}, true
+	}
+	d.Reason = strings.Join(tokens[sep+1:], " ")
+	seen := map[string]bool{}
+	for _, tok := range tokens[:sep] {
+		for _, name := range strings.Split(tok, ",") {
+			if name == "" {
+				continue
+			}
+			if !validAnalyzerName(name) {
+				return AllowDirective{Malformed: true}, true
+			}
+			if !seen[name] {
+				seen[name] = true
+				d.Analyzers = append(d.Analyzers, name)
+			}
+		}
+	}
+	if len(d.Analyzers) == 0 || d.Reason == "" {
+		return AllowDirective{Malformed: true}, true
+	}
+	return d, true
+}
+
+// validAnalyzerName reports whether name could be an analyzer name:
+// ASCII letters, digits, and underscores only.
+func validAnalyzerName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_':
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
 
 // suppressions records, per file line, which analyzers are allowed
-// there, plus the lines holding malformed (reason-less) comments.
+// there, plus the lines holding malformed (unusable) directives.
 type suppressions struct {
 	allowed   map[int]map[string]bool // line -> analyzer names
 	malformed map[int]token.Pos       // line -> comment position
@@ -136,12 +245,12 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
 	s := suppressions{allowed: map[int]map[string]bool{}, malformed: map[int]token.Pos{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			m := allowRe.FindStringSubmatch(c.Text)
-			if m == nil {
+			d, ok := ParseAllowDirective(c.Text)
+			if !ok {
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			if m[2] == "" {
+			if d.Malformed {
 				s.malformed[pos.Line] = c.Pos()
 				continue
 			}
@@ -155,7 +264,7 @@ func collectSuppressions(fset *token.FileSet, f *ast.File) suppressions {
 					set = map[string]bool{}
 					s.allowed[line] = set
 				}
-				for _, name := range strings.Split(m[1], ",") {
+				for _, name := range d.Analyzers {
 					set[name] = true
 				}
 			}
@@ -190,12 +299,17 @@ func standaloneComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 	return !onLine
 }
 
-// RunAnalyzers applies analyzers to one loaded package and returns the
-// surviving diagnostics: suppressed findings are dropped, and malformed
-// suppression comments (missing the " -- reason" clause) are reported
-// as findings of the pseudo-analyzer "peelvet". Diagnostics come back
-// sorted by position.
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers applies analyzers to one loaded package and returns its
+// diagnostics sorted by position. Findings a //peelvet:allow directive
+// covers come back with Suppressed set (callers deciding exit status
+// must skip them); malformed directives (missing the " -- reason"
+// clause) are reported as findings of the pseudo-analyzer "peelvet".
+//
+// store carries analyzer facts across packages; pass the same store for
+// every package of a run, in dependency order ("go list -deps" order),
+// so facts exported by a dependency are visible to its importers. A nil
+// store runs the analyzers fact-blind.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	supp := map[string]suppressions{} // filename -> suppressions
 	var diags []Diagnostic
 	for _, f := range files {
@@ -219,6 +333,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d Diagnostic) { reported = append(reported, d) },
+			facts:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
@@ -227,10 +342,13 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			d.Analyzer = a.Name
 			p := fset.Position(d.Pos)
 			if s, ok := supp[p.Filename]; ok && s.allowed[p.Line][a.Name] {
-				continue
+				d.Suppressed = true
 			}
 			diags = append(diags, d)
 		}
+	}
+	if store != nil {
+		store.MarkAnalyzed(pkg.Path())
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
@@ -239,6 +357,9 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})

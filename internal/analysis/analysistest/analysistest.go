@@ -45,28 +45,42 @@ func TestData() string {
 	return filepath.Join(filepath.Dir(file), "testdata")
 }
 
-// Run loads testdata/src/<pkg> for each named package, applies the
-// analyzer, and checks the findings against the // want annotations.
-// It returns the diagnostics for further assertions.
+// Run loads testdata/src/<pkg> for each named package — including any
+// subpackages, so a test package can import a testdata dependency and
+// exercise cross-package facts — applies the analyzer in dependency
+// order with one shared fact store, and checks the findings against the
+// // want annotations of every loaded file. Suppressed findings are
+// dropped, as the text drivers drop them. It returns the surviving
+// diagnostics for further assertions.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
 	t.Helper()
 	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
-		loaded, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: true}, ".")
+		loaded, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: true}, "./...")
 		if err != nil {
 			t.Fatalf("loading %s: %v", dir, err)
 		}
+		// "go list -deps" order: dependencies precede importers, so facts
+		// exported by a testdata subpackage are visible when the parent
+		// package is analyzed.
+		store := analysis.NewFactStore()
 		for _, lp := range loaded {
 			for _, terr := range lp.TypeErrors {
 				t.Errorf("%s: type error: %v", pkg, terr)
 			}
-			diags, err := analysis.RunAnalyzers(lp.Fset, lp.Files, lp.Types, lp.Info, []*analysis.Analyzer{a})
+			diags, err := analysis.RunAnalyzers(lp.Fset, lp.Files, lp.Types, lp.Info, []*analysis.Analyzer{a}, store)
 			if err != nil {
 				t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
 			}
-			all = append(all, diags...)
-			check(t, lp, diags)
+			kept := diags[:0]
+			for _, d := range diags {
+				if !d.Suppressed {
+					kept = append(kept, d)
+				}
+			}
+			all = append(all, kept...)
+			check(t, lp, kept)
 		}
 	}
 	return all

@@ -27,6 +27,27 @@ func TestAtomicShard(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.AtomicShard, "atomicshard")
 }
 
+// TestDetFlow covers the determinism-root propagation, including the
+// cross-package finding: sub.ShuffledKeys's map range is exported as a
+// Deterministic fact by the sub package's analysis and reported at the
+// call site in the importing root.
+func TestDetFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.DetFlow, "detflow")
+}
+
+// TestHotAlloc covers per-element allocation discipline in pool
+// closures, including the fact-driven finding against sub.MakeBuf.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.HotAlloc, "hotalloc")
+}
+
+// TestNoDeprecated covers facade detection from doc comments, the
+// same-file and deprecated-caller exemptions, and the cross-package
+// Deprecated fact.
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoDeprecated, "nodeprecated")
+}
+
 // TestSuppression exercises the //peelvet:allow machinery: in-place and
 // next-line suppression, the mandatory reason clause, and analyzer-name
 // matching.
@@ -36,7 +57,10 @@ func TestSuppression(t *testing.T) {
 
 // TestAnalyzersFire asserts each analyzer demonstrably produces at
 // least one finding on its testdata package — the acceptance criterion
-// that none of the five has silently rotted into a no-op.
+// that none of the suite has silently rotted into a no-op. For the
+// fact-driven analyzers (detflow, hotalloc, nodeprecated) the testdata
+// package imports a testdata subpackage, so a passing run also proves
+// facts flow across the package boundary.
 func TestAnalyzersFire(t *testing.T) {
 	for _, a := range analysis.Analyzers() {
 		diags := analysistest.Run(t, analysistest.TestData(), a, a.Name)

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file is the reaching-calls layer shared by the inter-procedural
+// analyzers (detflow, hotalloc, nodeprecated): resolving the static
+// callee of a call expression, enumerating a package's function
+// declarations, and reading peelvet directives out of doc comments.
+// Dynamic calls — through function values, interface methods — resolve
+// to nil or to the interface method object and are treated
+// optimistically by the analyzers; the runtime's hot paths are direct
+// calls, which is what makes the cheap static approximation useful.
+
+// staticCallee returns the *types.Func a call statically invokes — a
+// package function, a qualified pkg.Func, or a concrete method — or nil
+// for builtins, conversions, and calls through function values.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// A callSite is one static call: where, and to what.
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// staticCalls returns every statically resolvable call under n, in
+// source order.
+func staticCalls(pass *Pass, n ast.Node) []callSite {
+	var calls []callSite
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := staticCallee(pass, call); fn != nil {
+				calls = append(calls, callSite{pos: call.Pos(), callee: fn})
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+// declaredFuncObjects maps each package-level function declaration in
+// non-test files to its object. Test files are excluded: the
+// inter-procedural analyzers reason about library code only.
+func declaredFuncObjects(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// docHasDirective reports whether one of doc's comment lines is exactly
+// the given //-directive (trailing whitespace ignored), e.g.
+// "//peelvet:deterministic". Directives follow the Go convention of
+// machine-readable //tool:directive comments with no space after "//".
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimRight(c.Text, " \t") == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// deprecationMessage returns a doc comment's "Deprecated:" paragraph —
+// from the marker to the next blank line, wrapped lines joined — or ""
+// when the doc declares no deprecation. This is the standard Go
+// convention the PR 4/PR 6 facades follow.
+func deprecationMessage(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	lines := strings.Split(doc.Text(), "\n")
+	for i, line := range lines {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:")
+		if !ok {
+			continue
+		}
+		parts := []string{strings.TrimSpace(rest)}
+		for _, next := range lines[i+1:] {
+			next = strings.TrimSpace(next)
+			if next == "" {
+				break
+			}
+			parts = append(parts, next)
+		}
+		return strings.TrimSpace(strings.Join(parts, " "))
+	}
+	return ""
+}
+
+// shortPos renders pos as "file.go:123" for embedding in fact reasons —
+// base name only, so vetx content is independent of checkout location.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}
+
+// funcDisplayName renders fn for diagnostics: "pkg.Name" or
+// "pkg.(Recv).Name" using the package's base name.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg + "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

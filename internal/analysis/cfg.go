@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is a lightweight intra-procedural control-flow graph over
+// go/ast, sized for the framework's needs: flow-sensitive reasoning
+// about one loop iteration (ctxbarrier) without importing the
+// golang.org/x/tools/go/cfg machinery the build environment cannot
+// fetch. Blocks hold the ast nodes evaluated in them; edges follow the
+// usual statement semantics for if/for/range/switch/select and the
+// break/continue/goto/fallthrough branches.
+//
+// The graph is built for the body of one specific loop ("the region"):
+// entry is the start of an iteration, exit is the point where control
+// transfers back to the loop head (normal fall-through, continue, or —
+// for a three-clause for — through the post statement and condition,
+// which therefore execute once per iteration and belong to the region).
+// Paths that leave the loop entirely (return, break out of the region,
+// goto) end in a dead end rather than exit: an iteration that
+// terminates the loop needs no per-round guard.
+
+// A cfgBlock is one basic block: the nodes evaluated in it, in order,
+// and its successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// A cfg is the control-flow graph of one loop iteration.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// blockOf returns the block whose nodes contain pos, or nil. Node
+// containment is by source interval, so positions inside nested
+// expressions (a call argument, a closure body) resolve to the block
+// evaluating the enclosing statement.
+func (g *cfg) blockOf(pos token.Pos) *cfgBlock {
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// reaches reports whether a path from from to to exists that never
+// passes through a block where avoid is true. from itself must satisfy
+// !avoid; to is always accepted as an endpoint.
+func (g *cfg) reaches(from, to *cfgBlock, avoid func(*cfgBlock) bool) bool {
+	if avoid(from) {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	seen := map[*cfgBlock]bool{from: true}
+	work := []*cfgBlock{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] && !avoid(s) {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// cfgBuilder accumulates blocks while walking a statement region.
+type cfgBuilder struct {
+	g *cfg
+
+	// branch targets for the enclosing breakable/continuable constructs
+	// inside the region, innermost last. A nil block means "leaves the
+	// region" (dead end).
+	targets []branchTarget
+}
+
+type branchTarget struct {
+	label     string // "" entries never match labeled branches
+	brk, cont *cfgBlock
+	isLoop    bool // continue only binds to loops
+}
+
+// newLoopCFG builds the iteration graph for loop (a ForStmt or
+// RangeStmt); label is the loop's own label, or "". Any other statement
+// yields nil.
+func newLoopCFG(loop ast.Stmt, label string) *cfg {
+	b := &cfgBuilder{g: &cfg{}}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+
+	switch loop := loop.(type) {
+	case *ast.ForStmt:
+		// One iteration: body, then post and cond on the way back to the
+		// head — so a cancellation check in the condition guards every
+		// round. Init runs once and is outside the region.
+		tail := b.newBlock()
+		if loop.Post != nil {
+			tail.nodes = append(tail.nodes, loop.Post)
+		}
+		if loop.Cond != nil {
+			tail.nodes = append(tail.nodes, loop.Cond)
+		}
+		b.link(tail, b.g.exit)
+		// Unlabeled break/continue at the region's top level bind to this
+		// loop itself: continue still reaches the head through tail,
+		// break leaves the rounds (dead end).
+		b.targets = append(b.targets, branchTarget{label: label, brk: nil, cont: tail, isLoop: true})
+		end := b.stmt(loop.Body, b.g.entry)
+		b.link(end, tail)
+	case *ast.RangeStmt:
+		// The range expression is evaluated once, before the first
+		// iteration; the region is the body alone.
+		b.targets = append(b.targets, branchTarget{label: label, brk: nil, cont: b.g.exit, isLoop: true})
+		end := b.stmt(loop.Body, b.g.entry)
+		b.link(end, b.g.exit)
+	default:
+		return nil
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// link adds an edge from from to to; a nil from (dead-ended path) is a
+// no-op.
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmt extends the graph with s starting at cur and returns the block
+// where control continues afterward — nil when every path through s
+// leaves the region.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock) *cfgBlock {
+	if cur == nil {
+		// Unreachable code after a terminating statement: build it into a
+		// detached block, never linked from the reachable graph.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			cur = b.stmt(inner, cur)
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		return b.labeledStmt(s.Label.Name, s.Stmt, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.link(cur, thenB)
+		b.link(b.stmt(s.Body, thenB), after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(cur, elseB)
+			b.link(b.stmt(s.Else, elseB), after)
+		} else {
+			b.link(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		return b.forStmt("", s, cur)
+
+	case *ast.RangeStmt:
+		return b.rangeStmt("", s, cur)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.caseBodies("", s.Body, cur, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.caseBodies("", s.Body, cur, true)
+
+	case *ast.SelectStmt:
+		return b.caseBodies("", s.Body, cur, false)
+
+	case *ast.BranchStmt:
+		return b.branchStmt(s, cur)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		return nil
+
+	default:
+		// Straight-line statement (assignment, expression, declaration,
+		// defer, go, send, inc/dec, empty): evaluated wholly in cur.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// labeledStmt handles "label: stmt", making the label resolvable by
+// break/continue inside stmt.
+func (b *cfgBuilder) labeledStmt(label string, s ast.Stmt, cur *cfgBlock) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return b.forStmt(label, s, cur)
+	case *ast.RangeStmt:
+		return b.rangeStmt(label, s, cur)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// A labeled switch/select: break <label> exits it. Push a target
+		// frame around the construct.
+		after := b.newBlock()
+		b.targets = append(b.targets, branchTarget{label: label, brk: after})
+		end := b.stmt(s, cur)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.link(end, after)
+		return after
+	default:
+		// A plain labeled statement — the label is a goto target, which
+		// the builder treats as leaving the region; build the statement
+		// normally.
+		return b.stmt(s, cur)
+	}
+}
+
+// forStmt builds a nested (inner) for loop as a sub-graph: one entry
+// from cur, iterate through cond/body/post, leave to after. The
+// zero-iteration path (cond false immediately) exists whenever there is
+// a condition.
+func (b *cfgBuilder) forStmt(label string, s *ast.ForStmt, cur *cfgBlock) *cfgBlock {
+	if s.Init != nil {
+		cur.nodes = append(cur.nodes, s.Init)
+	}
+	head := b.newBlock()
+	after := b.newBlock()
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+		b.link(head, after)
+	}
+	b.link(cur, head)
+	post := b.newBlock()
+	if s.Post != nil {
+		post.nodes = append(post.nodes, s.Post)
+	}
+	b.link(post, head)
+	bodyB := b.newBlock()
+	b.link(head, bodyB)
+	b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: post, isLoop: true})
+	end := b.stmt(s.Body, bodyB)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.link(end, post)
+	return after
+}
+
+// rangeStmt builds a nested range loop; the head evaluates the range
+// expression and has both a body edge and a zero-iteration edge out.
+func (b *cfgBuilder) rangeStmt(label string, s *ast.RangeStmt, cur *cfgBlock) *cfgBlock {
+	head := b.newBlock()
+	head.nodes = append(head.nodes, s.X)
+	after := b.newBlock()
+	b.link(cur, head)
+	b.link(head, after)
+	bodyB := b.newBlock()
+	b.link(head, bodyB)
+	b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: head, isLoop: true})
+	end := b.stmt(s.Body, bodyB)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.link(end, head)
+	return after
+}
+
+// caseBodies builds the clause bodies of a switch, type switch
+// (exhaustive=true: without a default clause, control can skip every
+// case), or select (exhaustive=false only in the sense that a select
+// always executes some clause — one without a default blocks until a
+// comm is ready).
+func (b *cfgBuilder) caseBodies(label string, body *ast.BlockStmt, cur *cfgBlock, canSkip bool) *cfgBlock {
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, brk: after})
+	hasDefault := false
+	var caseBlocks []*cfgBlock
+	var caseEnds []*cfgBlock
+	var fallsThrough []bool
+	for _, clause := range body.List {
+		caseB := b.newBlock()
+		b.link(cur, caseB)
+		var stmts []ast.Stmt
+		switch clause := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range clause.List {
+				caseB.nodes = append(caseB.nodes, e)
+			}
+			hasDefault = hasDefault || clause.List == nil
+			stmts = clause.Body
+		case *ast.CommClause:
+			if clause.Comm != nil {
+				caseB.nodes = append(caseB.nodes, clause.Comm)
+			} else {
+				hasDefault = true
+			}
+			stmts = clause.Body
+		}
+		end := caseB
+		ft := false
+		for i, inner := range stmts {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(stmts)-1 {
+				ft = true
+				break
+			}
+			end = b.stmt(inner, end)
+		}
+		caseBlocks = append(caseBlocks, caseB)
+		caseEnds = append(caseEnds, end)
+		fallsThrough = append(fallsThrough, ft)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	for i, end := range caseEnds {
+		if fallsThrough[i] && i+1 < len(caseBlocks) {
+			b.link(end, caseBlocks[i+1])
+		} else {
+			b.link(end, after)
+		}
+	}
+	if canSkip && !hasDefault {
+		b.link(cur, after)
+	}
+	if len(body.List) == 0 {
+		b.link(cur, after)
+	}
+	return after
+}
+
+// branchStmt resolves break/continue against the enclosing targets;
+// goto and a stray fallthrough dead-end the path (leaving the region is
+// the conservative reading for the analyses built on this graph).
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt, cur *cfgBlock) *cfgBlock {
+	cur.nodes = append(cur.nodes, s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.link(cur, t.brk) // nil brk = leaves the region
+				return nil
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.isLoop && (label == "" || t.label == label) {
+				b.link(cur, t.cont)
+				return nil
+			}
+		}
+	}
+	return nil
+}

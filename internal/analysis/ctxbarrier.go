@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -29,12 +30,19 @@ var barrierReceivers = map[string]bool{
 // CtxBarrier enforces the runtime's cancellation contract on round
 // loops.
 //
-// Rule 1: a function whose name ends in "Ctx" and takes a
-// context.Context must consult that context inside any loop that
-// crosses pool barriers. The paper's O(log log n) round structure is
-// what makes cancellation cheap — one check per barrier — but only if
-// the check is actually inside the loop; a Ctx function with an
-// unchecked round loop silently runs to completion after cancellation.
+// Rule 1 (flow-sensitive): a function whose name ends in "Ctx" and
+// takes a context.Context must consult that context on every iteration
+// path that crosses a pool barrier. The paper's O(log log n) round
+// structure is what makes cancellation cheap — one check per barrier —
+// but only if the check covers every round: a loop that consults ctx on
+// one branch while another branch reaches the barrier unchecked
+// silently runs to completion after cancellation on the unchecked
+// path. The check is per barrier call, on the iteration control-flow
+// graph (see cfg.go): a barrier is flagged when some path reaches it
+// from the loop head without passing a ctx use AND continues to the
+// next iteration still without one. Paths that leave the loop (return,
+// break) need no guard, and a ctx consultation in the loop condition or
+// post statement counts — both run every round.
 //
 // Rule 2: an exported non-Ctx function with a Ctx sibling (Foo next to
 // FooCtx, on the same receiver) must not contain its own barrier loop:
@@ -44,11 +52,11 @@ var barrierReceivers = map[string]bool{
 // internal/parallel is exempt: it implements the barriers.
 var CtxBarrier = &Analyzer{
 	Name: "ctxbarrier",
-	Doc: "round loops in *Ctx functions must consult ctx; non-Ctx variants must delegate\n\n" +
-		"A loop calling pool barrier methods (For, Run, RunRanges, ...) " +
-		"inside a *Ctx function must use its context.Context parameter " +
-		"inside the loop. An exported Foo with a FooCtx sibling must not " +
-		"duplicate the round loop.",
+	Doc: "round loops in *Ctx functions must consult ctx on every barrier path; non-Ctx variants must delegate\n\n" +
+		"Each pool barrier call (For, Run, RunRanges, ...) inside a loop " +
+		"in a *Ctx function must have the function's context.Context " +
+		"consulted on every iteration path through it. An exported Foo " +
+		"with a FooCtx sibling must not duplicate the round loop.",
 	Run: runCtxBarrier,
 }
 
@@ -127,28 +135,104 @@ func ctxParam(pass *Pass, fd *ast.FuncDecl) *types.Var {
 	return nil
 }
 
-// checkCtxLoops reports each loop in fd that crosses a pool barrier
-// without consulting ctx inside the loop body.
+// checkCtxLoops reports each barrier call in fd's loops that some
+// iteration path executes without consulting ctx. Every loop containing
+// barriers is analyzed on its own iteration CFG — a nested round loop
+// must guard its own iterations even when the outer loop checks ctx —
+// and a call flagged by several nesting levels is reported once.
 func checkCtxLoops(pass *Pass, fd *ast.FuncDecl, ctxObj *types.Var) {
+	labels := loopLabels(fd.Body)
+	flagged := map[token.Pos]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
 		var body *ast.BlockStmt
-		switch loop := n.(type) {
+		switch l := loop.(type) {
 		case *ast.ForStmt:
-			body = loop.Body
+			body = l.Body
 		case *ast.RangeStmt:
-			body = loop.Body
+			body = l.Body
 		default:
 			return true
 		}
-		if !containsBarrierCall(pass, body) {
+		barriers := barrierCalls(pass, body)
+		if len(barriers) == 0 {
 			return true
 		}
-		if usesObject(pass, body, ctxObj) {
-			return true
+		g := newLoopCFG(loop, labels[loop])
+		checked := func(b *cfgBlock) bool {
+			for _, node := range b.nodes {
+				if usesObject(pass, node, ctxObj) {
+					return true
+				}
+			}
+			return false
 		}
-		pass.Reportf(n.Pos(), "round loop in %s crosses pool barriers without consulting ctx: check ctx (or call a *Ctx barrier) inside the loop so cancellation lands within one round", fd.Name.Name)
+		for _, call := range barriers {
+			if flagged[call.Pos()] {
+				continue
+			}
+			blk := g.blockOf(call.Pos())
+			if blk == nil || checked(blk) {
+				continue
+			}
+			if g.reaches(g.entry, blk, checked) && g.reaches(blk, g.exit, checked) {
+				flagged[call.Pos()] = true
+				pass.Reportf(call.Pos(), "round loop in %s crosses a pool barrier without consulting ctx on this path: check ctx (or call a *Ctx barrier) on every iteration path so cancellation lands within one round", fd.Name.Name)
+			}
+		}
 		return true
 	})
+}
+
+// loopLabels maps each labeled loop statement to its label so the CFG
+// builder can resolve labeled break/continue against the loop itself.
+func loopLabels(n ast.Node) map[ast.Stmt]string {
+	labels := map[ast.Stmt]string{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			switch ls.Stmt.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				labels[ls.Stmt] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	return labels
+}
+
+// barrierCalls returns every barrier-method call under n, in source
+// order.
+func barrierCalls(pass *Pass, n ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBarrierCall(pass, call) {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+// isBarrierCall reports whether call is a barrier method on a
+// Pool/Group receiver.
+func isBarrierCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !barrierMethods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	return ok && barrierReceivers[named.Obj().Name()]
 }
 
 // findBarrierLoop returns the first loop under n containing a barrier
@@ -179,34 +263,7 @@ func findBarrierLoop(pass *Pass, n ast.Node) (found ast.Node) {
 // containsBarrierCall reports whether any call under n is a barrier
 // method on a Pool/Group receiver.
 func containsBarrierCall(pass *Pass, n ast.Node) bool {
-	hit := false
-	ast.Inspect(n, func(n ast.Node) bool {
-		if hit {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !barrierMethods[sel.Sel.Name] {
-			return true
-		}
-		tv, ok := pass.TypesInfo.Types[sel.X]
-		if !ok {
-			return true
-		}
-		t := types.Unalias(tv.Type)
-		if ptr, ok := t.(*types.Pointer); ok {
-			t = types.Unalias(ptr.Elem())
-		}
-		if named, ok := t.(*types.Named); ok && barrierReceivers[named.Obj().Name()] {
-			hit = true
-			return false
-		}
-		return true
-	})
-	return hit
+	return len(barrierCalls(pass, n)) > 0
 }
 
 // usesObject reports whether any identifier under n resolves to obj.

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFlow enforces the repository's central reproducibility invariant —
+// peel orders, MPHF/Bloomier images, and generated instances are
+// bit-identical at every worker count — by machine-checking the code
+// that produces them for sources of value nondeterminism.
+//
+// A function annotated with the doc-comment directive
+//
+//	//peelvet:deterministic
+//
+// is a determinism root: it, and every function transitively reachable
+// from it through static calls, must not
+//
+//   - range over a map (or use maps.Keys/Values/All — iteration order
+//     is randomized),
+//   - read the wall or monotonic clock (time.Now/Since/Until/After/...),
+//   - draw from the unseeded global math/rand or math/rand/v2 source,
+//     crypto/rand, or maphash.MakeSeed (explicitly seeded generators —
+//     rand.New(...), the repo's internal/rng — are fine),
+//   - iterate a sync.Map (visit order is racy), or
+//   - select across channels (a multi-clause or defaulted select picks
+//     a winner by scheduling).
+//
+// The verdict propagates across package boundaries as a Deterministic
+// fact: when internal/core is analyzed, every function gets a fact
+// recording whether it is free of these operations, and when
+// internal/mphf is analyzed later (packages are analyzed in dependency
+// order; under go vet the facts travel through .vetx files), a root
+// calling into core consults the fact instead of re-reading core's
+// source. A call into a package that was never analyzed (the standard
+// library) is trusted; a call into an analyzed package is only trusted
+// if the fact says so.
+//
+// internal/parallel is exempt and its functions are axiomatically
+// deterministic: it implements the round barriers, its internals select
+// on done channels by design, and the value-determinism of everything
+// built on it is exactly what the workers-1/3/8 byte-identical build
+// tests establish.
+//
+// Dynamic calls (function values, interface methods) are trusted; the
+// hot paths this protects are direct calls. A reviewed exception is
+// suppressed with //peelvet:allow detflow -- <why the nondeterminism
+// cannot reach the output bits>.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "functions reachable from //peelvet:deterministic roots must be value-deterministic\n\n" +
+		"No map ranges, wall-clock reads, unseeded math/rand, sync.Map " +
+		"iteration, or multi-way selects anywhere in the static call " +
+		"graph below an annotated determinism root. Verdicts cross " +
+		"package boundaries as Deterministic facts.",
+	FactTypes: []Fact{new(Deterministic)},
+	Run:       runDetFlow,
+}
+
+// DeterministicDirective is the doc-comment annotation marking a
+// determinism root.
+const DeterministicDirective = "//peelvet:deterministic"
+
+// Deterministic is detflow's fact about one function: whether its
+// static call graph is free of value-nondeterministic operations, and
+// if not, why (anchored at the defining package's source).
+type Deterministic struct {
+	Ok     bool
+	Reason string `json:",omitempty"`
+}
+
+// AFact marks Deterministic as a fact type.
+func (*Deterministic) AFact() {}
+
+func init() { RegisterFact(new(Deterministic)) }
+
+// A nondetOp is one directly nondeterministic operation in a function
+// body.
+type nondetOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// detFuncInfo is the per-function summary detflow computes before
+// propagation.
+type detFuncInfo struct {
+	decl  *ast.FuncDecl
+	root  bool
+	ops   []nondetOp
+	calls []callSite
+}
+
+func runDetFlow(pass *Pass) error {
+	if PathHasSuffix(pass.Path(), "internal/parallel") {
+		// Axiomatically deterministic; export affirmative facts so
+		// importers' roots trust its barriers.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && !pass.InTestFile(fd.Pos()) {
+					if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						pass.ExportObjectFact(fn, &Deterministic{Ok: true})
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	infos := map[*types.Func]*detFuncInfo{}
+	for fn, fd := range declaredFuncObjects(pass) {
+		infos[fn] = &detFuncInfo{
+			decl:  fd,
+			root:  docHasDirective(fd.Doc, DeterministicDirective),
+			ops:   directNondetOps(pass, fd.Body),
+			calls: staticCalls(pass, fd.Body),
+		}
+	}
+
+	// Resolve each function's verdict bottom-up over the intra-package
+	// call graph, consulting facts at package boundaries. Cycles are
+	// resolved optimistically: a back edge contributes nothing, so a
+	// recursion knot is nondeterministic iff some member has a direct op
+	// or an external nondeterministic callee — which that member's own
+	// resolution reports.
+	type state int
+	const (
+		unresolved state = iota
+		resolving
+		resolved
+	)
+	states := map[*types.Func]state{}
+	verdicts := map[*types.Func]*Deterministic{}
+
+	var resolve func(fn *types.Func) *Deterministic
+	resolve = func(fn *types.Func) *Deterministic {
+		if v, ok := verdicts[fn]; ok && states[fn] == resolved {
+			return v
+		}
+		if states[fn] == resolving {
+			return &Deterministic{Ok: true} // optimistic back edge
+		}
+		info := infos[fn]
+		if info == nil {
+			return externalVerdict(pass, fn)
+		}
+		states[fn] = resolving
+		v := &Deterministic{Ok: true}
+		if len(info.ops) > 0 {
+			op := info.ops[0]
+			v = &Deterministic{Reason: op.desc + " at " + shortPos(pass.Fset, op.pos)}
+		} else {
+			for _, call := range info.calls {
+				cv := resolve(call.callee)
+				if !cv.Ok {
+					v = &Deterministic{Reason: "calls " + funcDisplayName(call.callee) + " (" + cv.Reason + ")"}
+					break
+				}
+			}
+		}
+		states[fn] = resolved
+		verdicts[fn] = v
+		return v
+	}
+
+	// Export facts for every declared function, so importers can trust
+	// (or distrust) any of them.
+	for fn := range infos {
+		pass.ExportObjectFact(fn, resolve(fn))
+	}
+
+	// Reachability from this package's roots attributes diagnostics: a
+	// direct op in any reachable intra-package function is reported at
+	// the op; a call from a reachable function into a nondeterministic
+	// external function is reported at the call site.
+	rootOf := map[*types.Func]*types.Func{}
+	var mark func(fn, root *types.Func)
+	mark = func(fn, root *types.Func) {
+		if _, seen := rootOf[fn]; seen {
+			return
+		}
+		info := infos[fn]
+		if info == nil {
+			return
+		}
+		rootOf[fn] = root
+		for _, call := range info.calls {
+			mark(call.callee, root)
+		}
+	}
+	for fn, info := range infos {
+		if info.root {
+			mark(fn, fn)
+		}
+	}
+
+	for fn, root := range rootOf {
+		info := infos[fn]
+		for _, op := range info.ops {
+			pass.Reportf(op.pos, "%s in %s, which must be deterministic (reachable from %s root %s): peel orders and images must be bit-identical at every worker count",
+				op.desc, fn.Name(), DeterministicDirective, root.Name())
+		}
+		for _, call := range info.calls {
+			if infos[call.callee] != nil {
+				continue // intra-package: its own ops are reported above
+			}
+			if cv := externalVerdict(pass, call.callee); !cv.Ok {
+				pass.Reportf(call.pos, "call to %s in %s, which must be deterministic (reachable from %s root %s): %s",
+					funcDisplayName(call.callee), fn.Name(), DeterministicDirective, root.Name(), cv.Reason)
+			}
+		}
+	}
+	return nil
+}
+
+// externalVerdict judges a callee defined outside the package under
+// analysis: exempt and unanalyzed packages are trusted; analyzed
+// packages answer through their exported Deterministic facts.
+func externalVerdict(pass *Pass, fn *types.Func) *Deterministic {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return &Deterministic{Ok: true} // builtin (error.Error, etc.)
+	}
+	if PathHasSuffix(pkg.Path(), "internal/parallel") {
+		return &Deterministic{Ok: true}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, ifc := types.Unalias(sig.Recv().Type()).Underlying().(*types.Interface); ifc {
+			return &Deterministic{Ok: true} // dynamic dispatch: trusted
+		}
+	}
+	if !pass.PackageAnalyzed(pkg.Path()) {
+		return &Deterministic{Ok: true}
+	}
+	var fact Deterministic
+	if !pass.ImportObjectFact(fn, &fact) {
+		return &Deterministic{Ok: true} // analyzed but unkeyable: trusted
+	}
+	return &fact
+}
+
+// directNondetOps scans one function body for directly
+// value-nondeterministic operations.
+func directNondetOps(pass *Pass, body *ast.BlockStmt) []nondetOp {
+	var ops []nondetOp
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ops = append(ops, nondetOp{n.Pos(), "ranges over a map"})
+				}
+			}
+		case *ast.SelectStmt:
+			if clauses := len(n.Body.List); clauses > 1 || selectHasDefault(n) {
+				ops = append(ops, nondetOp{n.Pos(), "selects across channels"})
+			}
+		case *ast.CallExpr:
+			fn := staticCallee(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if desc := nondetCallDesc(fn); desc != "" {
+				ops = append(ops, nondetOp{n.Pos(), desc})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (a nonblocking poll — the winner depends on scheduling).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// nondetCallDesc classifies a call to a known value-nondeterministic
+// function; "" means the callee is not on the denylist.
+func nondetCallDesc(fn *types.Func) string {
+	path, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	method := sig != nil && sig.Recv() != nil
+	switch path {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			return "reads the wall/monotonic clock (time." + name + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws use the globally seeded source; explicit
+		// constructors (New, NewSource, NewPCG, ...) and methods on the
+		// values they return are caller-seeded and deterministic.
+		if !method && !strings.HasPrefix(name, "New") {
+			return "draws from the unseeded global " + path + " source (rand." + name + ")"
+		}
+	case "crypto/rand":
+		return "draws cryptographic randomness (crypto/rand." + name + ")"
+	case "hash/maphash":
+		if name == "MakeSeed" {
+			return "draws a process-random maphash seed (maphash.MakeSeed)"
+		}
+	case "sync":
+		if method && name == "Range" && recvNamed(sig) == "Map" {
+			return "iterates a sync.Map (visit order is racy)"
+		}
+	case "maps":
+		switch name {
+		case "Keys", "Values", "All":
+			return "iterates a map via maps." + name + " (order is randomized)"
+		}
+	}
+	return ""
+}
+
+// recvNamed returns the name of a method's receiver base type, or "".
+func recvNamed(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

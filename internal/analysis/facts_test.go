@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// markVetxOnly rewrites a writeUnit config with VetxOnly set, the form
+// cmd/go uses for pure dependencies.
+func markVetxOnly(t *testing.T, cfgPath string) {
+	t.Helper()
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.VetxOnly = true
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactStoreRoundTrip proves the .vetx serialization is lossless and
+// deterministic: what one process's EncodePackage writes, another
+// process's DecodePackage reconstructs bit-for-bit.
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.put("repro/internal/core", "ParallelOrderCtx", &Deterministic{Ok: true})
+	s.put("repro/internal/core", "shuffle", &Deterministic{Reason: "ranges over a map at x.go:3"})
+	s.put("repro/internal/core", "shuffle", &Allocates{Yes: true, Reason: "make at x.go:4"})
+	s.put("repro/internal/core", "Old", &Deprecated{Msg: "use New"})
+
+	data, err := s.EncodePackage("repro/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := s.EncodePackage("repro/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("EncodePackage is not deterministic")
+	}
+
+	s2 := NewFactStore()
+	if err := s2.DecodePackage("repro/internal/core", data); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Analyzed("repro/internal/core") {
+		t.Error("DecodePackage did not mark the package analyzed")
+	}
+	var det Deterministic
+	if !s2.get("repro/internal/core", "ParallelOrderCtx", &det) || !det.Ok {
+		t.Errorf("ParallelOrderCtx fact = %+v, want Ok", det)
+	}
+	if !s2.get("repro/internal/core", "shuffle", &det) || det.Ok || det.Reason != "ranges over a map at x.go:3" {
+		t.Errorf("shuffle Deterministic fact = %+v", det)
+	}
+	var alloc Allocates
+	if !s2.get("repro/internal/core", "shuffle", &alloc) || !alloc.Yes {
+		t.Errorf("shuffle Allocates fact = %+v", alloc)
+	}
+	var dep Deprecated
+	if !s2.get("repro/internal/core", "Old", &dep) || dep.Msg != "use New" {
+		t.Errorf("Old Deprecated fact = %+v", dep)
+	}
+	if s2.get("repro/internal/core", "Missing", &det) {
+		t.Error("got a fact for an object that has none")
+	}
+	if s2.get("repro/internal/other", "Old", &dep) {
+		t.Error("got a fact from the wrong package")
+	}
+}
+
+// TestFactStoreSkipsUnknownTypes: a vetx written by a newer tool with a
+// fact type this binary does not register must not fail decoding — the
+// known facts still load.
+func TestFactStoreSkipsUnknownTypes(t *testing.T) {
+	blob := `{"object":"F","type":"*analysis.FutureFact","data":{"X":1}}
+{"object":"F","type":"*analysis.Deprecated","data":{"Msg":"use G"}}
+`
+	s := NewFactStore()
+	if err := s.DecodePackage("p", []byte(blob)); err != nil {
+		t.Fatal(err)
+	}
+	var dep Deprecated
+	if !s.get("p", "F", &dep) || dep.Msg != "use G" {
+		t.Errorf("Deprecated fact = %+v, want Msg=\"use G\"", dep)
+	}
+}
+
+// TestUnitcheckerWritesFacts: a unit whose source declares a deprecated
+// function and a nondeterministic root helper must serialize those
+// verdicts into VetxOutput — the file cmd/go hands to every importer's
+// unit.
+func TestUnitcheckerWritesFacts(t *testing.T) {
+	src := `package tmpvet
+
+// Old is gone.
+//
+// Deprecated: use New.
+func Old() {}
+
+// New replaces Old.
+func New() {}
+
+// Shuffled is value-nondeterministic.
+func Shuffled(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+`
+	cfgPath, vetx := writeUnit(t, src, false)
+	var stderr bytes.Buffer
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitClean, stderr.String())
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewFactStore()
+	if err := s.DecodePackage("tmpvet", data); err != nil {
+		t.Fatal(err)
+	}
+	var dep Deprecated
+	if !s.get("tmpvet", "Old", &dep) || !strings.Contains(dep.Msg, "use New") {
+		t.Errorf("Old Deprecated fact = %+v, want Msg mentioning New", dep)
+	}
+	var det Deterministic
+	if !s.get("tmpvet", "Shuffled", &det) || det.Ok || !strings.Contains(det.Reason, "ranges over a map") {
+		t.Errorf("Shuffled Deterministic fact = %+v, want a map-range reason", det)
+	}
+	if !s.get("tmpvet", "New", &det) || !det.Ok {
+		t.Errorf("New Deterministic fact = %+v, want Ok", det)
+	}
+}
+
+// TestUnitcheckerVetxOnlyProducesFacts: a VetxOnly unit (analyzed only
+// as a dependency) must still run the fact-producing analyzers — an
+// empty facts file here would silently disable every cross-package
+// finding in importers.
+func TestUnitcheckerVetxOnlyProducesFacts(t *testing.T) {
+	src := `package tmpvet
+
+// Deprecated: use nothing.
+func Old() {}
+`
+	cfgPath, vetx := writeUnit(t, src, false)
+	markVetxOnly(t, cfgPath)
+	var stderr bytes.Buffer
+	if code := RunUnitchecker(cfgPath, Analyzers(), &stderr); code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, ExitClean, stderr.String())
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewFactStore()
+	if err := s.DecodePackage("tmpvet", data); err != nil {
+		t.Fatal(err)
+	}
+	var dep Deprecated
+	if !s.get("tmpvet", "Old", &dep) {
+		t.Error("VetxOnly run exported no Deprecated fact for Old")
+	}
+}

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc keeps the per-element loops inside pool closures
+// allocation-free.
+//
+// The paper's peeling process is O(n) total work spread over
+// O(log log n) rounds; the constant factor lives in the per-element
+// loops of the closures handed to Pool.For / ForCtx / RunRanges /
+// RunRangesCtx. An allocation there happens millions of times per
+// build and turns a memory-bound scan into a GC benchmark. The
+// runtime's discipline — established by the PR 3 pooled-buffer work —
+// is: allocate per worker (in the closure's top level, once per chunk)
+// or per build (hoisted outside the pool call), never per element.
+//
+// Inside a loop within such a closure, hotalloc flags
+//
+//   - make, new, and slice/map composite literals (including
+//     &T{...}),
+//   - append to a slice declared inside the loop (appending to an
+//     outer per-worker buffer is the sanctioned pattern and is
+//     allowed),
+//   - implicit interface boxing: passing a concrete value to an
+//     interface parameter (including ...any variadics) heap-allocates
+//     the box,
+//   - constructing hash or RNG state (hash/*.New*, maphash seeds,
+//     rand.New*) — these are per-build state, seeded once,
+//   - calls to functions known to allocate, through the Allocates
+//     fact, so a helper that hides a make in another package is still
+//     caught at the hot call site.
+//
+// The closure's top level is per-chunk territory and is not checked.
+// A reviewed exception (a cold error path, a once-per-build slow
+// path) is suppressed with //peelvet:allow hotalloc -- <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "per-element loops in pool closures must not allocate\n\n" +
+		"Closures passed to Pool.For/ForCtx/RunRanges/RunRangesCtx may " +
+		"allocate per chunk (top level) but not per element (inside " +
+		"loops): no make/new/composite literals, no append to " +
+		"loop-local slices, no interface boxing, no hash/RNG " +
+		"construction, no calls into known allocators (Allocates fact).",
+	FactTypes: []Fact{new(Allocates)},
+	Run:       runHotAlloc,
+}
+
+// Allocates is hotalloc's fact about one function: whether calling it
+// may heap-allocate, and why.
+type Allocates struct {
+	Yes    bool
+	Reason string `json:",omitempty"`
+}
+
+// AFact marks Allocates as a fact type.
+func (*Allocates) AFact() {}
+
+func init() { RegisterFact(new(Allocates)) }
+
+// hotBarrierMethods are the pool methods whose closure argument runs
+// once per chunk with a per-element loop inside — the hot path
+// hotalloc polices. (Plain Run schedules whole tasks, not element
+// ranges, so its closures are not element loops.)
+var hotBarrierMethods = map[string]bool{
+	"For":          true,
+	"ForCtx":       true,
+	"RunRanges":    true,
+	"RunRangesCtx": true,
+}
+
+func runHotAlloc(pass *Pass) error {
+	if PathHasSuffix(pass.Path(), "internal/parallel") {
+		return nil
+	}
+
+	// Summarize every declared function and export Allocates facts so
+	// importers can police calls into this package from their own hot
+	// loops.
+	infos := declaredFuncObjects(pass)
+	verdicts := map[*types.Func]*Allocates{}
+	var resolve func(fn *types.Func) *Allocates
+	resolve = func(fn *types.Func) *Allocates {
+		if v, ok := verdicts[fn]; ok {
+			return v
+		}
+		fd, local := infos[fn]
+		if !local {
+			return allocCalleeVerdict(pass, fn)
+		}
+		// Optimistic placeholder breaks recursion cycles: a knot
+		// allocates iff some member directly allocates, which that
+		// member's own summary records.
+		verdicts[fn] = &Allocates{}
+		v := &Allocates{}
+		if op := firstAllocOp(pass, fd.Body, nil); op != nil {
+			v = &Allocates{Yes: true, Reason: op.desc + " at " + shortPos(pass.Fset, op.pos)}
+		} else {
+			for _, call := range staticCalls(pass, fd.Body) {
+				if cv := resolve(call.callee); cv.Yes {
+					v = &Allocates{Yes: true, Reason: "calls " + funcDisplayName(call.callee) + " (" + cv.Reason + ")"}
+					break
+				}
+			}
+		}
+		verdicts[fn] = v
+		return v
+	}
+	for fn := range infos {
+		pass.ExportObjectFact(fn, resolve(fn))
+	}
+
+	// Police the hot closures: for each closure literal passed directly
+	// to a hot barrier method, flag allocation ops inside its loops.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isHotBarrierCall(pass, call) || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkHotClosure(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHotBarrierCall reports whether call is a chunked-iteration barrier
+// method on a Pool/Group receiver.
+func isHotBarrierCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !hotBarrierMethods[sel.Sel.Name] {
+		return false
+	}
+	return isBarrierCall(pass, call)
+}
+
+// checkHotClosure flags per-element allocations: allocation ops inside
+// any loop within the closure body. The closure's own top level runs
+// once per chunk and is exempt.
+func checkHotClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		loopVars := objectsDeclaredIn(pass, n)
+		reportAllocOps(pass, body, loopVars)
+		return false // reportAllocOps covers nested loops
+	})
+}
+
+// reportAllocOps reports every allocation op under n (the body of a
+// per-element loop). loopVars holds the objects declared inside the
+// loop, so appends that grow loop-local slices are distinguished from
+// appends into outer per-worker buffers.
+func reportAllocOps(pass *Pass, n ast.Node, loopVars map[types.Object]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if op := classifyAllocOp(pass, n, loopVars, true); op != nil {
+			pass.Reportf(op.pos, "%s in a per-element loop of a pool closure: allocate per worker (closure top level) or per build, not per element", op.desc)
+		}
+		return true
+	})
+}
+
+// An allocOp is one allocation site.
+type allocOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// firstAllocOp returns the first direct allocation op under n, for the
+// Allocates fact summary; loop-local append and boxing heuristics are
+// skipped (hot=false) because the summary describes the callee's own
+// unconditional allocations, not loop context.
+func firstAllocOp(pass *Pass, n ast.Node, loopVars map[types.Object]bool) (found *allocOp) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		found = classifyAllocOp(pass, n, loopVars, false)
+		return found == nil
+	})
+	return found
+}
+
+// classifyAllocOp decides whether one node is an allocation op. hot
+// selects the loop-context checks (loop-local append, interface
+// boxing, Allocates-fact callees) that only make sense at a hot call
+// site.
+func classifyAllocOp(pass *Pass, n ast.Node, loopVars map[types.Object]bool, hot bool) *allocOp {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		tv, ok := pass.TypesInfo.Types[n]
+		if !ok {
+			return nil
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			return &allocOp{n.Pos(), "slice literal"}
+		case *types.Map:
+			return &allocOp{n.Pos(), "map literal"}
+		}
+		return nil
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				return &allocOp{n.Pos(), "heap-escaping &composite literal"}
+			}
+		}
+		return nil
+	case *ast.CallExpr:
+		return classifyAllocCall(pass, n, loopVars, hot)
+	}
+	return nil
+}
+
+// classifyAllocCall decides whether one call allocates: builtins
+// (make, new, growing append), hash/RNG constructors, boxing at the
+// call boundary, and (in hot context) callees carrying an Allocates
+// fact.
+func classifyAllocCall(pass *Pass, call *ast.CallExpr, loopVars map[types.Object]bool, hot bool) *allocOp {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				return &allocOp{call.Pos(), "make"}
+			case "new":
+				return &allocOp{call.Pos(), "new"}
+			case "append":
+				if hot && appendsToLoopLocal(pass, call, loopVars) {
+					return &allocOp{call.Pos(), "append to a slice declared inside the loop"}
+				}
+			}
+			return nil
+		}
+	}
+	fn := staticCallee(pass, call)
+	if fn != nil && fn.Pkg() != nil {
+		if desc := statefulConstructorDesc(fn); desc != "" {
+			return &allocOp{call.Pos(), desc}
+		}
+		if hot {
+			if v := allocCalleeVerdict(pass, fn); v.Yes {
+				return &allocOp{call.Pos(), "call to " + funcDisplayName(fn) + ", which allocates (" + v.Reason + ")"}
+			}
+		}
+	}
+	if hot {
+		if box := boxedArg(pass, call); box != nil {
+			return box
+		}
+	}
+	return nil
+}
+
+// appendsToLoopLocal reports whether an append call's destination slice
+// is an object declared inside the current loop. Appending to an outer
+// per-worker buffer amortizes its growth across the whole chunk and is
+// the sanctioned pattern; a loop-local append re-grows from nil every
+// element.
+func appendsToLoopLocal(pass *Pass, call *ast.CallExpr, loopVars map[types.Object]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := ast.Unparen(call.Args[0])
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && loopVars[obj]
+}
+
+// boxedArg reports the first argument implicitly boxed into an
+// interface: a concrete (non-interface, non-nil) value passed where the
+// signature takes an interface, including ...any variadics. The box is
+// a heap allocation per call.
+func boxedArg(pass *Pass, call *ast.CallExpr) *allocOp {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through ...: no box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIfc := pt.Underlying().(*types.Interface); !isIfc {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		if _, argIfc := at.Type.Underlying().(*types.Interface); argIfc {
+			continue // interface-to-interface: no new box
+		}
+		if basic, ok := at.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 && at.Value != nil {
+			continue // constants box to preallocated or static values
+		}
+		return &allocOp{arg.Pos(), "interface boxing (concrete value passed to interface parameter)"}
+	}
+	return nil
+}
+
+// statefulConstructorDesc classifies calls that build per-build state —
+// hash or RNG — which belongs outside the element loop; "" otherwise.
+func statefulConstructorDesc(fn *types.Func) string {
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case strings.HasPrefix(path, "hash/") && strings.HasPrefix(name, "New"):
+		return "hash-state construction (" + path + "." + name + ")"
+	case path == "hash/maphash" && name == "MakeSeed":
+		return "maphash seed construction"
+	case (path == "math/rand" || path == "math/rand/v2") && strings.HasPrefix(name, "New"):
+		return "RNG construction (" + path + "." + name + ")"
+	}
+	return ""
+}
+
+// allocCalleeVerdict resolves whether a call's static callee allocates:
+// intra-package answers come from this run's summaries (the caller
+// resolves them before use), cross-package answers from Allocates
+// facts; unanalyzed packages are trusted.
+func allocCalleeVerdict(pass *Pass, fn *types.Func) *Allocates {
+	pkg := fn.Pkg()
+	if pkg == nil || PathHasSuffix(pkg.Path(), "internal/parallel") {
+		return &Allocates{}
+	}
+	var fact Allocates
+	if pass.ImportObjectFact(fn, &fact) {
+		return &fact
+	}
+	return &Allocates{}
+}
+
+// objectsDeclaredIn collects every object whose declaration lies inside
+// n (a loop statement): loop variables, := bindings, var decls.
+func objectsDeclaredIn(pass *Pass, n ast.Node) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+				objs[obj] = true
+			}
+		}
+		return true
+	})
+	return objs
+}

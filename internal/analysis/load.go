@@ -171,6 +171,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage, tests b
 // which "-deps" over non-test files never lists — are resolved lazily
 // with one extra "go list -export" call each.
 func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	//peelvet:allow nodeprecated -- the deprecation covers only nil lookup; this lookup is non-nil
 	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {

@@ -4,6 +4,10 @@ package analysis
 // invariant the repository enforces at compile time. cmd/peelvet runs
 // exactly this list, and TestPeelvetRepoClean asserts the tree at head
 // is clean under it.
+//
+// The suite's ninth check — suppression hygiene, reported under the
+// pseudo-analyzer name "peelvet" — is always on: RunAnalyzers flags
+// malformed //peelvet:allow directives no matter which analyzers run.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoSpawn,
@@ -11,5 +15,8 @@ func Analyzers() []*Analyzer {
 		NoUnsafe,
 		NoPanic,
 		AtomicShard,
+		DetFlow,
+		HotAlloc,
+		NoDeprecated,
 	}
 }

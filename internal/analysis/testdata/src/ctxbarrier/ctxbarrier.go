@@ -17,8 +17,8 @@ func (p *Pool) ForCtx(ctx context.Context, n, grain int, fn func(w, lo, hi int))
 // BadCtx crosses barriers in a loop without ever consulting ctx: after
 // cancellation it still runs every remaining round.
 func BadCtx(ctx context.Context, p *Pool, rounds int) {
-	for i := 0; i < rounds; i++ { // want `round loop in BadCtx crosses pool barriers without consulting ctx`
-		p.For(100, 10, func(w, lo, hi int) {})
+	for i := 0; i < rounds; i++ {
+		p.For(100, 10, func(w, lo, hi int) {}) // want `round loop in BadCtx crosses a pool barrier without consulting ctx on this path`
 	}
 }
 
@@ -49,9 +49,61 @@ type sweeper struct {
 
 // SweepCtx is the method form of the same bug.
 func (s *sweeper) SweepCtx(ctx context.Context, rounds int) {
-	for i := 0; i < rounds; i++ { // want `round loop in SweepCtx crosses pool barriers without consulting ctx`
-		s.pool.Run(func(w int) {})
+	for i := 0; i < rounds; i++ {
+		s.pool.Run(func(w int) {}) // want `round loop in SweepCtx crosses a pool barrier without consulting ctx on this path`
 	}
+}
+
+// BranchGapCtx checks ctx only on the fast-path branch: the slow path
+// reaches the barrier and loops back without ever consulting it. The
+// flow-insensitive check (any ctx use in the loop body) missed exactly
+// this shape.
+func BranchGapCtx(ctx context.Context, p *Pool, rounds int, fast bool) error {
+	for i := 0; i < rounds; i++ {
+		if fast {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		p.Run(func(w int) {}) // want `round loop in BranchGapCtx crosses a pool barrier without consulting ctx on this path`
+	}
+	return nil
+}
+
+// CondGuardCtx consults ctx in the loop condition, which runs before
+// every iteration: every path through the barrier is guarded.
+func CondGuardCtx(ctx context.Context, p *Pool, rounds int) {
+	for i := 0; i < rounds && ctx.Err() == nil; i++ {
+		p.Run(func(w int) {})
+	}
+}
+
+// TailGuardCtx checks ctx after the barrier instead of before: the
+// check still lands on every back edge, so no round starts after
+// cancellation is observed.
+func TailGuardCtx(ctx context.Context, p *Pool, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		p.Run(func(w int) {})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExitPathCtx is clean: one path after the barrier leaves the loop
+// entirely (needs no guard) and the continuing path checks ctx.
+func ExitPathCtx(ctx context.Context, p *Pool, rounds int, done func() bool) error {
+	for i := 0; i < rounds; i++ {
+		p.Run(func(w int) {})
+		if done() {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Dup forks the round loop instead of delegating to DupCtx: the two

@@ -1,0 +1,59 @@
+// Package detflow is analysistest input: determinism roots whose call
+// graphs do and do not stay value-deterministic, including a
+// cross-package violation found only through the Deterministic fact
+// exported by the sub dependency.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis/testdata/src/detflow/sub"
+)
+
+// BuildImage is a determinism root: everything it reaches must be
+// value-deterministic.
+//
+//peelvet:deterministic
+func BuildImage(m map[int]int, xs []int) int {
+	total := sub.SumSlice(xs)
+	total += sub.ShuffledKeys(m)[0] // want `call to sub.ShuffledKeys in BuildImage, which must be deterministic`
+	total += stamp()
+	total += draw()
+	return total
+}
+
+// stamp is reachable from the root: its clock read is flagged at the
+// operation, attributed to the root.
+func stamp() int {
+	return int(time.Now().UnixNano()) // want `reads the wall/monotonic clock \(time.Now\) in stamp, which must be deterministic`
+}
+
+// draw mixes a legal seeded generator with an illegal global draw.
+func draw() int {
+	rng := rand.New(rand.NewSource(42)) // seeded: deterministic, no finding
+	return rng.Intn(10) +
+		rand.Intn(10) // want `draws from the unseeded global math/rand source \(rand.Intn\) in draw, which must be deterministic`
+}
+
+// pick is also reachable; a multi-way select resolves by scheduling.
+//
+//peelvet:deterministic
+func pick(a, b chan int) int {
+	select { // want `selects across channels in pick, which must be deterministic`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// Audit is NOT a root: the same operations are legal here.
+func Audit(m map[int]int) int {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	total += int(time.Now().Unix())
+	return total
+}

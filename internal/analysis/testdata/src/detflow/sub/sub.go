@@ -1,0 +1,24 @@
+// Package sub is the dependency half of the detflow cross-package
+// test: analyzed first (dependency order), it exports Deterministic
+// facts its importer consults.
+package sub
+
+// ShuffledKeys is value-nondeterministic: map iteration order changes
+// run to run. The fact detflow exports about it is what the importing
+// package's root trips over.
+func ShuffledKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SumSlice is deterministic; calls to it from a root are fine.
+func SumSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

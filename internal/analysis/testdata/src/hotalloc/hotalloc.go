@@ -1,0 +1,72 @@
+// Package hotalloc is analysistest input: pool closures whose
+// per-element loops do and do not allocate. The local Pool stands in
+// for internal/parallel.Pool — the analyzer matches barrier methods by
+// receiver type name.
+package hotalloc
+
+import "repro/internal/analysis/testdata/src/hotalloc/sub"
+
+type Pool struct{}
+
+func (p *Pool) For(n, grain int, fn func(w, lo, hi int)) {}
+func (p *Pool) RunRanges(n int, fn func(w, lo, hi int))  {}
+func (p *Pool) Seq(n int, fn func(w, lo, hi int))        {} // not a barrier method
+type pair struct{ a, b int }
+
+func sink(v any) {}
+
+// Build's closure allocates per element in every way hotalloc flags.
+func Build(p *Pool, data []byte, out [][]byte) {
+	p.For(len(data), 64, func(w, lo, hi int) {
+		chunk := make([]byte, 0, hi-lo) // closure top level: per chunk, allowed
+		for i := lo; i < hi; i++ {
+			buf := make([]byte, 8) // want `make in a per-element loop of a pool closure`
+			var local []int
+			local = append(local, i) // want `append to a slice declared inside the loop in a per-element loop`
+			chunk = append(chunk, data[i])
+			pp := &pair{a: i, b: i} // want `heap-escaping &composite literal in a per-element loop`
+			_ = buf
+			_ = local
+			_ = pp
+		}
+		out[w] = chunk
+	})
+}
+
+// BuildCalls shows the fact-driven and boxing findings: the make inside
+// sub.MakeBuf is invisible syntactically but travels as an Allocates
+// fact, and the concrete int handed to an any parameter boxes.
+func BuildCalls(p *Pool, data []byte, sums []int) {
+	p.RunRanges(len(data), func(w, lo, hi int) {
+		total := 0
+		for i := lo; i < hi; i++ {
+			b := sub.MakeBuf(8) // want `call to sub.MakeBuf, which allocates`
+			total += sub.Sum(b) + sub.Sum(data[lo:hi])
+			sink(i) // want `interface boxing \(concrete value passed to interface parameter\)`
+		}
+		sums[w] = total
+	})
+}
+
+// BuildClean is the sanctioned shape: per-chunk state at the closure
+// top level, per-element work that only indexes and appends to the
+// outer buffer.
+func BuildClean(p *Pool, data []byte, out [][]byte) {
+	p.For(len(data), 64, func(w, lo, hi int) {
+		local := out[w][:0]
+		for i := lo; i < hi; i++ {
+			local = append(local, data[i])
+		}
+		out[w] = local
+	})
+}
+
+// NotABarrier: closures handed to non-barrier methods are out of
+// scope, however allocation-happy.
+func NotABarrier(p *Pool, n int) {
+	p.Seq(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_ = make([]byte, 8)
+		}
+	})
+}

@@ -1,0 +1,19 @@
+// Package sub is the dependency half of the hotalloc cross-package
+// test: its Allocates facts let the importer's hot loops see through
+// the call boundary.
+package sub
+
+// MakeBuf hides an allocation behind a call: hotalloc exports an
+// Allocates fact so importers' hot loops are flagged for calling it.
+func MakeBuf(n int) []byte {
+	return make([]byte, n)
+}
+
+// Sum allocates nothing; hot loops may call it freely.
+func Sum(xs []byte) int {
+	total := 0
+	for _, x := range xs {
+		total += int(x)
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+package nodeprecated
+
+import "repro/internal/analysis/testdata/src/nodeprecated/sub"
+
+// Uses calls facades from outside their declaring file: both the
+// in-package one and, through the Deprecated fact, the one in sub.
+func Uses(xs []int) int {
+	peeled := LegacyPeel(xs)  // want `use of deprecated nodeprecated.LegacyPeel: use Peel, which reports the rounds taken.`
+	n := sub.Old(len(peeled)) // want `use of deprecated sub.Old: use New instead; Old drops the error.`
+	m, _ := sub.New(n)        // replacement: fine
+	out, _ := Peel(xs)        // replacement: fine
+	return m + len(out)
+}

@@ -1,0 +1,26 @@
+// Package nodeprecated is analysistest input: Deprecated: facades and
+// the uses that are (and are not) allowed to touch them. This file
+// declares the facades; references within it are exempt, as the real
+// facade files keep compiling without suppressions.
+package nodeprecated
+
+// LegacyPeel is the in-package facade.
+//
+// Deprecated: use Peel, which reports the rounds taken.
+func LegacyPeel(xs []int) []int {
+	out, _ := Peel(xs)
+	return out
+}
+
+// LegacyPeelAll chains to another facade: deprecated code may call
+// deprecated code.
+//
+// Deprecated: use Peel.
+func LegacyPeelAll(xs []int) []int {
+	return LegacyPeel(xs)
+}
+
+// Peel is the replacement.
+func Peel(xs []int) ([]int, int) {
+	return xs, 0
+}

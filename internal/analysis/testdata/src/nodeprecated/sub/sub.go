@@ -1,0 +1,17 @@
+// Package sub is the dependency half of the nodeprecated
+// cross-package test: its Deprecated facts, derived from doc comments,
+// flag importers without either package naming the other.
+package sub
+
+// Old is the PR 4-style compatibility facade.
+//
+// Deprecated: use New instead; Old drops the error.
+func Old(n int) int {
+	v, _ := New(n)
+	return v
+}
+
+// New is the replacement.
+func New(n int) (int, error) {
+	return n * 2, nil
+}

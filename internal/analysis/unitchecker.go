@@ -21,8 +21,16 @@ import (
 // carries the file list and the export-data locations of every
 // dependency (cmd/go has already built them). The tool type-checks the
 // unit from that config, runs the analyzers, prints diagnostics to
-// stderr, and must write the VetxOutput facts file (empty here — the
-// peelvet analyzers are package-local and exchange no facts).
+// stderr, and writes the unit's analyzer facts to the VetxOutput file.
+//
+// Facts make the protocol's PackageVetx/VetxOutput/VetxOnly fields
+// load-bearing: cmd/go hands each unit the serialized facts of its
+// already-analyzed dependencies (cached like any build artifact) and
+// caches what the unit writes in turn, so inter-procedural analyzers
+// (detflow, hotalloc, nodeprecated) stay exactly as incremental and
+// cache-correct as compilation. A VetxOnly unit — a dependency being
+// analyzed only so its importers can see its facts — runs just the
+// fact-producing analyzers and reports nothing.
 
 // vetConfig mirrors the JSON schema cmd/go writes for vet tools.
 type vetConfig struct {
@@ -66,26 +74,46 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int
 		return ExitError
 	}
 
-	// The facts file must exist even for fact-free tools — cmd/go caches
-	// it and refuses to proceed without it.
+	// Import the facts of every already-analyzed dependency. A vetx file
+	// cmd/go names but cannot be read is an error: silently dropping it
+	// would turn real cross-package findings into false negatives.
+	store := NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "peelvet: reading facts for %s: %v\n", path, err)
+			return ExitError
+		}
+		if err := store.DecodePackage(path, data); err != nil {
+			fmt.Fprintf(stderr, "peelvet: %v\n", err)
+			return ExitError
+		}
+	}
+
+	// A VetxOnly unit exists solely to produce facts for importers: run
+	// only the fact-producing analyzers and report nothing. The vetx file
+	// must be written even when no analyzer produces facts — cmd/go
+	// caches it and refuses to proceed without it.
+	if cfg.VetxOnly {
+		analyzers = factProducers(analyzers)
+	}
+
 	writeVetx := func() bool {
 		if cfg.VetxOutput == "" {
 			return true
 		}
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		data, err := store.EncodePackage(cfg.ImportPath)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "peelvet: writing %s: %v\n", cfg.VetxOutput, err)
 			return false
 		}
 		return true
 	}
-	if cfg.VetxOnly {
-		if !writeVetx() {
-			return ExitError
-		}
-		return ExitClean
-	}
 
-	fset, diags, typeErrs, err := checkUnit(&cfg, analyzers)
+	fset, diags, typeErrs, err := checkUnit(&cfg, analyzers, store)
 	if err != nil {
 		fmt.Fprintf(stderr, "peelvet: %s: %v\n", cfg.ImportPath, err)
 		return ExitError
@@ -99,23 +127,43 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int
 	if !writeVetx() {
 		return ExitError
 	}
+	if cfg.VetxOnly {
+		return ExitClean
+	}
 	for _, err := range typeErrs {
 		fmt.Fprintf(stderr, "peelvet: %s: %v\n", cfg.ImportPath, err)
 	}
 	if len(typeErrs) > 0 {
 		return ExitError
 	}
+	findings := 0
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		findings++
 		fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
+	if findings > 0 {
 		return ExitFindings
 	}
 	return ExitClean
 }
 
+// factProducers filters analyzers to those that export or import facts —
+// the only ones whose VetxOnly run has an observable effect.
+func factProducers(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // checkUnit parses and type-checks the unit and runs the analyzers.
-func checkUnit(cfg *vetConfig, analyzers []*Analyzer) (*token.FileSet, []Diagnostic, []error, error) {
+func checkUnit(cfg *vetConfig, analyzers []*Analyzer, store *FactStore) (*token.FileSet, []Diagnostic, []error, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -146,7 +194,7 @@ func checkUnit(cfg *vetConfig, analyzers []*Analyzer) (*token.FileSet, []Diagnos
 	}
 	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
 
-	diags, err := RunAnalyzers(fset, files, tpkg, info, analyzers)
+	diags, err := RunAnalyzers(fset, files, tpkg, info, analyzers, store)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -162,6 +210,7 @@ func newUnitImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
 	if compiler == "" {
 		compiler = "gc"
 	}
+	//peelvet:allow nodeprecated -- the deprecation covers only nil lookup; this lookup is non-nil
 	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
 		file, ok := cfg.PackageFile[path]
 		if !ok {

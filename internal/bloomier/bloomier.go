@@ -64,6 +64,8 @@ var ErrBuildFailed = errors.New("bloomier: construction failed on all attempts")
 // the process-wide default pool; use BuildWithPool to pin it to an
 // explicit one. The resulting filter is identical either way and at
 // every pool size.
+//
+//peelvet:deterministic
 func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Filter, error) {
 	return BuildWithPool(keys, values, gamma, seed, maxTries, parallel.Default())
 }
@@ -73,6 +75,8 @@ func Build(keys, values []uint64, gamma float64, seed uint64, maxTries int) (*Fi
 // and closed before returning — a 10-retry build pays worker startup
 // once, not per attempt. Callers building many filters should share one
 // pool across builds via BuildWithPool instead.
+//
+//peelvet:deterministic
 func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, workers int) (*Filter, error) {
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
@@ -87,6 +91,8 @@ func BuildWorkers(keys, values []uint64, gamma float64, seed uint64, maxTries, w
 // the resulting filter is byte-identical at every pool size. All
 // per-build state is owned by the call, so many builds may run
 // concurrently on one shared pool.
+//
+//peelvet:deterministic
 func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	return BuildCtx(context.Background(), keys, values, gamma, seed, maxTries, pool)
 }
@@ -95,6 +101,8 @@ func BuildWithPool(keys, values []uint64, gamma float64, seed uint64, maxTries i
 // every round barrier of every attempt's peel and back-substitution
 // sweep — a canceled build stops within one round of extra work. On
 // cancellation it returns (nil, ctx.Err()).
+//
+//peelvet:deterministic
 func BuildCtx(ctx context.Context, keys, values []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*Filter, error) {
 	if len(keys) != len(values) {
 		return nil, fmt.Errorf("bloomier: %d keys but %d values", len(keys), len(values))

@@ -91,6 +91,8 @@ func ParallelOrder(g *hypergraph.Hypergraph, k int, opts Options) *OrderedResult
 // checked once at every round barrier like ParallelCtx: a canceled peel
 // stops within one round of extra work and returns (nil, ctx.Err()),
 // abandoning the partial state.
+//
+//peelvet:deterministic
 func ParallelOrderCtx(ctx context.Context, g *hypergraph.Hypergraph, k int, opts Options) (*OrderedResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -135,11 +135,15 @@ const genChunk = 4096
 // paper's hashing applications where two items can hash identically).
 // Generation and the CSR build run on the process-wide default pool; the
 // result depends only on gen's state, not on the pool size.
+//
+//peelvet:deterministic
 func Uniform(n, m, r int, gen *rng.RNG) *Hypergraph {
 	return UniformWithPool(n, m, r, gen, parallel.Default())
 }
 
 // UniformWithPool is Uniform on an explicit worker pool.
+//
+//peelvet:deterministic
 func UniformWithPool(n, m, r int, gen *rng.RNG, pool *parallel.Pool) *Hypergraph {
 	validate(n, m, r)
 	g := &Hypergraph{N: n, M: m, R: r, Edges: make([]uint32, m*r)}

@@ -146,6 +146,8 @@ func (im *Image) Len() int { return len(im.data) }
 // no copy: the returned slice is the image itself, contiguous and ready
 // for os.WriteFile or a network send, and Open of those exact bytes
 // reconstructs an identical view.
+//
+//peelvet:deterministic
 func (im *Image) Marshal() []byte {
 	binary.LittleEndian.PutUint64(im.data[8:], imageChecksum(im.data))
 	return im.data

@@ -69,6 +69,8 @@ var ErrDuplicateKeys = errors.New("mphf: duplicate keys")
 // process-wide default pool; use BuildWithPool to pin it to an explicit
 // one. The resulting function is identical either way and at every pool
 // size (the ordered peel is bit-stable across worker counts).
+//
+//peelvet:deterministic
 func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, error) {
 	return BuildWithPool(keys, gamma, seed, maxTries, parallel.Default())
 }
@@ -80,6 +82,8 @@ func Build(keys []uint64, gamma float64, seed uint64, maxTries int) (*MPHF, erro
 // spin-up that core.Options{Workers: n} would cost inside a loop.
 // Callers building many functions should instead share one pool across
 // builds via BuildWithPool (e.g. as parallel.Group jobs).
+//
+//peelvet:deterministic
 func BuildWorkers(keys []uint64, gamma float64, seed uint64, maxTries, workers int) (*MPHF, error) {
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
@@ -97,6 +101,8 @@ func BuildWorkers(keys []uint64, gamma float64, seed uint64, maxTries, workers i
 // has a distinct free vertex and non-free endpoints finalize strictly
 // later). All per-build state is owned by the call, so many builds may
 // run concurrently on one shared pool.
+//
+//peelvet:deterministic
 func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	return BuildCtx(context.Background(), keys, gamma, seed, maxTries, pool)
 }
@@ -106,6 +112,8 @@ func BuildWithPool(keys []uint64, gamma float64, seed uint64, maxTries int, pool
 // at the phase barriers between hashing, CSR build, peel, and
 // assignment) — a canceled build stops within one round of extra work,
 // not one phase. On cancellation it returns (nil, ctx.Err()).
+//
+//peelvet:deterministic
 func BuildCtx(ctx context.Context, keys []uint64, gamma float64, seed uint64, maxTries int, pool *parallel.Pool) (*MPHF, error) {
 	if gamma < 1.1 {
 		return nil, fmt.Errorf("mphf: gamma %.3f too small (< 1.1 cannot peel)", gamma)

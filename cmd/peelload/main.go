@@ -32,6 +32,7 @@ import (
 	"repro/internal/mphf"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/server/client"
 )
 
 func randomKeys(n int, seed uint64) []uint64 {
@@ -117,6 +118,70 @@ func max(a, b int) int {
 	return b
 }
 
+// makeNetJob is makeJob with the work shipped to a peelserved instance
+// instead of the in-process pool: the tenant goroutines still run
+// through the local Runtime (admission, stats, cancellation), but each
+// repetition is a client round-trip, so the load lands on the server's
+// shedding and deadline machinery. The client retries OVERLOADED
+// replies with the server's hint, so a saturated server degrades to
+// latency, not failures.
+func makeNetJob(cl *client.Client, op string, nkeys, r int, load float64, seed uint64) job {
+	switch op {
+	case "decode":
+		cells := int(float64(nkeys) / load)
+		keys := randomKeys(nkeys, seed)
+		master := iblt.New(cells, r, seed^0xdec0de)
+		master.InsertAll(keys)
+		wire, err := master.MarshalBinary()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peelload: marshal sketch: %v\n", err)
+			os.Exit(1)
+		}
+		return job{units: nkeys, run: func(ctx context.Context, _ *repro.WorkerPool) error {
+			res, err := cl.Decode(ctx, wire)
+			if err != nil {
+				return err
+			}
+			if !res.Complete || len(res.Added) != nkeys {
+				return fmt.Errorf("remote decode recovered %d/%d keys (complete=%v)", len(res.Added), nkeys, res.Complete)
+			}
+			return nil
+		}}
+	case "build":
+		keys := randomKeys(nkeys, seed)
+		return job{units: nkeys, run: func(ctx context.Context, _ *repro.WorkerPool) error {
+			img, err := cl.BuildMPHF(ctx, keys, seed)
+			if err != nil {
+				return err
+			}
+			if _, err := repro.OpenMPHF(img); err != nil {
+				return fmt.Errorf("remote build returned bad image: %w", err)
+			}
+			return nil
+		}}
+	case "reconcile":
+		diff := nkeys/100 + 8
+		common := randomKeys(nkeys, seed)
+		local := append(append([]uint64(nil), common...), randomKeys(diff, seed^1)...)
+		remote := append(append([]uint64(nil), common...), randomKeys(diff, seed^2)...)
+		return job{units: nkeys, run: func(ctx context.Context, _ *repro.WorkerPool) error {
+			res, err := cl.Reconcile(ctx, local, remote, seed, 1.5)
+			if err != nil {
+				return err
+			}
+			if len(res.OnlyLocal) != diff || len(res.OnlyRemote) != diff {
+				return fmt.Errorf("remote reconcile found %d/%d differences, want %d/%d",
+					len(res.OnlyLocal), len(res.OnlyRemote), diff, diff)
+			}
+			return nil
+		}}
+	default:
+		fmt.Fprintf(os.Stderr, "peelload: -op %q not supported with -addr (decode|build|reconcile)\n", op)
+		os.Exit(2)
+		return job{}
+	}
+}
+
 // runTenants admits every tenant to rt via Runtime.Go under ctx and
 // waits; it returns the elapsed time, how many jobs were canceled by
 // ctx, and the first non-context error.
@@ -170,22 +235,39 @@ func main() {
 	maxJobs := flag.Int("maxjobs", 0, "Runtime admission bound (0 = unbounded)")
 	seed := flag.Uint64("seed", 2014, "base RNG seed")
 	cancelAfter := flag.Duration("cancel-after", 0, "cancel the shared run's context after this delay and require ≥1 job canceled (0 = off)")
+	addr := flag.String("addr", "", "drive the workload against a peelserved instance at this address instead of in-process (forces -mode=shared; ops: decode|build|reconcile)")
 	flag.Parse()
 
 	w := *workers
 	if w <= 0 {
 		w = parallel.Workers()
 	}
+	var cl *client.Client
+	if *addr != "" {
+		cl = client.Dial(*addr, client.Options{})
+		defer cl.Close()
+		*mode = "shared" // the isolated topology is meaningless against one remote server
+	}
 	tenants := make([]job, *jobs)
 	for j := range tenants {
-		tenants[j] = makeJob(*op, *nkeys, *r, *load, *seed+uint64(j)*0x9e3779b97f4a7c15)
+		tseed := *seed + uint64(j)*0x9e3779b97f4a7c15
+		if cl != nil {
+			tenants[j] = makeNetJob(cl, *op, *nkeys, *r, *load, tseed)
+		} else {
+			tenants[j] = makeJob(*op, *nkeys, *r, *load, tseed)
+		}
 	}
 	totalUnits := 0
 	for _, t := range tenants {
 		totalUnits += t.units * *reps
 	}
-	fmt.Printf("peelload: op=%s jobs=%d keys/job=%d reps=%d workers=%d\n",
-		*op, *jobs, *nkeys, *reps, w)
+	if *addr != "" {
+		fmt.Printf("peelload: op=%s jobs=%d keys/job=%d reps=%d addr=%s\n",
+			*op, *jobs, *nkeys, *reps, *addr)
+	} else {
+		fmt.Printf("peelload: op=%s jobs=%d keys/job=%d reps=%d workers=%d\n",
+			*op, *jobs, *nkeys, *reps, w)
+	}
 
 	report := func(name string, d time.Duration, st repro.RuntimeStats, err error) float64 {
 		if err != nil {

@@ -1,0 +1,91 @@
+// Command peelserved serves the peeling runtime over TCP: the wire
+// protocol of repro/internal/server (length-prefixed frames, per-request
+// deadlines, load shedding, graceful drain) in front of one
+// repro.Runtime. It is the deployable shape of the ROADMAP's "networked
+// reconciliation service" north star: start it, point peelload -addr (or
+// the internal/server/client package) at it, and SIGTERM it for a clean
+// drain — in-flight requests finish, idle connections get GOAWAY, and
+// the process exits 0 only if the drain completed inside -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7414", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("maxjobs", 0, "concurrent request bound; excess requests are shed (0 = 2x workers)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-request deadline when the request carries none (0 = none)")
+	buildRetries := flag.Int("build-retries", 2, "seed-escalating retries for failed MPHF builds")
+	reconcileRetries := flag.Int("reconcile-retries", 2, "headroom-escalating retries for incomplete reconcile decodes")
+	maxFrame := flag.Int("max-frame", 0, "largest frame accepted, bytes (0 = 64 MiB)")
+	retryAfter := flag.Duration("retry-after", 0, "retry hint carried in OVERLOADED replies (0 = 25ms)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before exiting dirty")
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:  *workers,
+		MaxJobs:  *maxJobs,
+		MaxFrame: *maxFrame,
+		Policy: repro.Policy{
+			JobTimeout:       *jobTimeout,
+			BuildRetries:     *buildRetries,
+			ReconcileRetries: *reconcileRetries,
+		},
+		RetryAfter: *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peelserved: listen: %v\n", err)
+		os.Exit(1)
+	}
+	// The smoke harness waits for this line before dialing.
+	fmt.Printf("peelserved: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	//peelvet:allow nospawn -- the accept loop runs for the process lifetime; its exit (always after Shutdown or a listener error) is joined via serveErr below
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-serveErr:
+		// The listener failed out from under us.
+		fmt.Fprintf(os.Stderr, "peelserved: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("peelserved: %v, draining (timeout %v)\n", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	<-serveErr // Serve returns nil once Shutdown closes the listener
+
+	st := srv.Stats()
+	fmt.Printf("peelserved: drained: conns=%d requests=%d replies=%d shed=%d conn_panics=%d frames_rejected=%d goaways=%d jobs_panicked=%d\n",
+		st.ConnsAccepted, st.RequestsAccepted, st.RepliesSent, st.RequestsShed,
+		st.ConnPanics, st.FramesRejected, st.GoAwaysSent, st.Runtime.JobsPanicked)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "peelserved: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	if st.RequestsAccepted != st.RepliesSent {
+		fmt.Fprintf(os.Stderr, "peelserved: reply invariant violated: accepted %d != replies %d\n",
+			st.RequestsAccepted, st.RepliesSent)
+		os.Exit(1)
+	}
+}

@@ -151,6 +151,19 @@
 // persists images crash-safely (temp file, fsync, rename, directory
 // fsync), so the file at the target path is always a complete image.
 //
+// The whole serving surface is also reachable over TCP: internal/server
+// (deployed as cmd/peelserved) fronts a Runtime with a length-prefixed
+// wire protocol — per-request deadlines that become handler contexts,
+// load shedding through Runtime.TryGo with typed OVERLOADED replies and
+// retry-after hints, per-connection and per-request panic isolation,
+// frame bounds validated before allocation, and SIGTERM-triggered
+// graceful drain (GOAWAY, in-flight requests finish, every accepted
+// request gets exactly one reply). internal/server/client is the
+// matching client: one multiplexed connection, deadline propagation,
+// and backoff retries only where safe (shed requests always, ambiguous
+// connection loss only for idempotent ops). See the "Serving over the
+// network" section of README.md for the protocol and failure table.
+//
 // Instance construction is parallel too, and deterministically so: edge
 // sampling draws each fixed-size chunk of edges from its own RNG stream
 // keyed by chunk index, and the CSR incidence index is built with a

@@ -65,6 +65,28 @@ const (
 	// candidate image bytes as argument; a callback that flips a byte
 	// exercises the corrupt-image quarantine path.
 	ServingSwap = "serving.swap"
+	// ServerAccept fires (via FireErr) once per accepted connection in
+	// the wire server's accept loop, with the remote address string as
+	// argument: a returned error makes the server drop the connection
+	// immediately, and a stalling callback delays accept — the
+	// listener-level failure modes.
+	ServerAccept = "server.accept"
+	// ServerFrameTorn fires (via FireErr) in the server's frame writer
+	// with the encoded frame bytes as argument: a returned error makes
+	// the server write only a prefix of the frame and then kill the
+	// connection — exactly what a crash mid-send looks like to the
+	// client, which must treat the torn frame as connection loss.
+	ServerFrameTorn = "server.frame.torn"
+	// ServerHandlerPanic fires at the head of every request handler with
+	// the op code as argument; a panicking callback exercises the
+	// request-level panic isolation: the client gets a typed INTERNAL
+	// reply, the connection and server survive, JobsPanicked increments.
+	ServerHandlerPanic = "server.handler.panic"
+	// ServerConnStall fires once per request frame read, on the
+	// connection's read goroutine, with the frame length as argument; a
+	// stalling callback simulates a slow or stuck client connection for
+	// drain and deadline tests.
+	ServerConnStall = "server.conn.stall"
 )
 
 // Callback is the armed action of a failpoint: hit is the 1-based count

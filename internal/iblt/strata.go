@@ -158,7 +158,13 @@ func (e *StrataEstimator) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Estimators now
+// arrive off the wire (the reconciliation server's Estimate op), so the
+// parser is strict about more than framing: every stratum must carry the
+// canonical geometry (strataCells cells, r = strataTableR) and the seed
+// derived from the estimator seed — a stratum whose header re-declares a
+// different shape would otherwise parse cleanly here and then panic
+// inside Subtract, a remotely triggerable crash.
 func (e *StrataEstimator) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("%w: short strata header", ErrBadWireFormat)
@@ -167,13 +173,20 @@ func (e *StrataEstimator) UnmarshalBinary(data []byte) error {
 	fresh := NewStrataEstimator(seed)
 	off := 8
 	for i := range fresh.strata {
-		size := fresh.strata[i].WireSize()
+		want := fresh.strata[i]
+		size := want.WireSize()
 		if off+size > len(data) {
 			return fmt.Errorf("%w: truncated stratum %d", ErrBadWireFormat, i)
 		}
-		if err := fresh.strata[i].UnmarshalBinary(data[off : off+size]); err != nil {
+		var st Table
+		if err := st.UnmarshalBinary(data[off : off+size]); err != nil {
 			return err
 		}
+		if st.r != want.r || st.subSize != want.subSize || st.seed != want.seed {
+			return fmt.Errorf("%w: stratum %d geometry (r=%d subSize=%d seed=%#x), want canonical (r=%d subSize=%d seed=%#x)",
+				ErrBadWireFormat, i, st.r, st.subSize, st.seed, want.r, want.subSize, want.seed)
+		}
+		fresh.strata[i] = &st
 		off += size
 	}
 	if off != len(data) {
@@ -182,6 +195,10 @@ func (e *StrataEstimator) UnmarshalBinary(data []byte) error {
 	*e = *fresh
 	return nil
 }
+
+// Seed returns the estimator's base seed; two estimators must share it
+// to be comparable (Subtract / Estimate).
+func (e *StrataEstimator) Seed() uint64 { return e.seed }
 
 // Reconcile runs the full two-message protocol between local and remote
 // key sets represented by their estimators and source sets: it estimates

@@ -65,6 +65,13 @@ func (p *Pool) NoteRejected() { p.jobsRejected.Add(1) }
 // automatically.
 func (p *Pool) NotePanicked() { p.jobsPanicked.Add(1) }
 
+// NoteShed records a job turned away by load shedding — admission was
+// rejected because the serving layer's concurrency bound was saturated,
+// not because the pool is closing; surfaced in Stats as JobsShed. A
+// server that sheds instead of queueing calls this so an operator can
+// tell overload (retry later) apart from shutdown (go away).
+func (p *Pool) NoteShed() { p.jobsShed.Add(1) }
+
 // Shutdown gracefully drains the pool: it atomically stops admission
 // (subsequent Enter calls return ErrClosed), waits for every admitted
 // job to finish — jobs keep their full parallelism while draining — and
@@ -159,6 +166,11 @@ type Stats struct {
 	// a panicked job; a nonzero rate here is an application bug to
 	// chase with the stack carried by the PanicError.
 	JobsPanicked int64
+	// JobsShed counts jobs rejected by load shedding (NoteShed): the
+	// serving layer's admission bound was full, so the job was turned
+	// away with a retry hint instead of queueing unboundedly. Distinct
+	// from JobsRejected, which counts shutdown-time rejections.
+	JobsShed int64
 }
 
 // Stats returns a point-in-time snapshot of the pool's counters. The
@@ -174,6 +186,7 @@ func (p *Pool) Stats() Stats {
 		JobsRejected: p.jobsRejected.Load(),
 		JobsCanceled: p.jobsCanceled.Load(),
 		JobsPanicked: p.jobsPanicked.Load(),
+		JobsShed:     p.jobsShed.Load(),
 	}
 	for _, ch := range p.chans {
 		s.QueueDepth += len(ch)

@@ -75,6 +75,7 @@ type Pool struct {
 	jobsRejected atomic.Int64
 	jobsCanceled atomic.Int64
 	jobsPanicked atomic.Int64
+	jobsShed     atomic.Int64
 }
 
 type batch struct {
@@ -365,19 +366,37 @@ var (
 
 // Default returns the shared process-wide pool backing the package-level
 // For, creating it on first use with the default size (GOMAXPROCS).
+//
+// The default pool is supervised: if the current one has been shut down
+// (some component called Shutdown/Close on it), Default replaces it with
+// a fresh open pool of the same size on the next call, instead of
+// handing out a terminated pool that degrades every caller to inline
+// serial execution for the rest of the process. Callers that captured
+// the old pool keep their (safe, serial) post-shutdown semantics; new
+// callers get parallelism back.
 func Default() *Pool {
-	if p := defaultPool.Load(); p != nil {
+	if p := defaultPool.Load(); p != nil && p.Open() {
 		return p
 	}
 	defaultPoolMu.Lock()
 	defer defaultPoolMu.Unlock()
-	if p := defaultPool.Load(); p != nil {
+	if p := defaultPool.Load(); p != nil && p.Open() {
 		return p
 	}
-	p := NewPool(0)
+	workers := 0
+	if old := defaultPool.Load(); old != nil {
+		workers = old.workers // preserve a SetDefaultWorkers override
+	}
+	p := NewPool(workers)
 	defaultPool.Store(p)
 	return p
 }
+
+// Open reports whether the pool is accepting jobs — false once Shutdown
+// or Close has begun. It is a point-in-time observation: a true result
+// can be stale by the time the caller submits (Enter remains the
+// authoritative gate).
+func (p *Pool) Open() bool { return p.state.Load() == stateOpen }
 
 // SetDefaultWorkers replaces the default pool with one of the given size
 // (<= 0 restores the GOMAXPROCS default). It is a startup-time knob for

@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDefaultPoolRecreatedAfterShutdown is the supervised-default
+// contract: shutting down the shared default pool must not degrade
+// every later caller to inline serial execution — the next Default()
+// hands out a fresh open pool of the same size.
+func TestDefaultPoolRecreatedAfterShutdown(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+
+	old := Default()
+	if !old.Open() {
+		t.Fatal("fresh default pool not open")
+	}
+	if err := old.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if old.Open() {
+		t.Fatal("pool still open after Shutdown")
+	}
+
+	fresh := Default()
+	if fresh == old {
+		t.Fatal("Default() returned the terminated pool after Shutdown")
+	}
+	if !fresh.Open() {
+		t.Fatal("recreated default pool not open")
+	}
+	if got := fresh.Workers(); got != 3 {
+		t.Fatalf("recreated pool Workers() = %d, want the previous size 3", got)
+	}
+	// The recreated pool must actually admit and run jobs.
+	exit, err := fresh.Enter()
+	if err != nil {
+		t.Fatalf("Enter on recreated pool: %v", err)
+	}
+	total := 0
+	fresh.For(100, 10, func(_, lo, hi int) { _ = lo })
+	fresh.RunRanges(100, 4, func(_, lo, hi int) { total += hi - lo })
+	if total != 100 {
+		t.Fatalf("RunRanges covered %d of 100 indices on recreated pool", total)
+	}
+	exit()
+}
+
+// TestJobsShedCounter: NoteShed feeds the JobsShed stat and stays
+// distinct from the shutdown-rejection counter.
+func TestJobsShedCounter(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.NoteShed()
+	p.NoteShed()
+	p.NoteRejected()
+	st := p.Stats()
+	if st.JobsShed != 2 {
+		t.Fatalf("JobsShed = %d, want 2", st.JobsShed)
+	}
+	if st.JobsRejected != 1 {
+		t.Fatalf("JobsRejected = %d, want 1", st.JobsRejected)
+	}
+}

@@ -1,0 +1,201 @@
+//go:build faultinject
+
+package server_test
+
+// Chaos suite for the wire front-end (build with -tags=faultinject,
+// run with -race): concurrent clients hammer a small server while the
+// failpoints inject dropped connections, handler panics, and torn reply
+// frames, and the server is drained mid-load. The assertions are the
+// protocol's failure contract: every request reaches a terminal outcome
+// at the client, every accepted request got exactly one reply, sheds
+// are counted on both sides of the admission boundary, and the server
+// process survives it all.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func TestServerChaos(t *testing.T) {
+	srv, addr := startServer(t, server.Options{
+		Workers:    2,
+		MaxJobs:    2,
+		RetryAfter: 2 * time.Millisecond,
+	})
+
+	// Drop every 9th connection at the door.
+	faultinject.Arm(faultinject.ServerAccept, func(hit int64, _ any) error {
+		if hit%9 == 0 {
+			return errors.New("chaos: connection dropped at accept")
+		}
+		return nil
+	})
+	defer faultinject.Disarm(faultinject.ServerAccept)
+	// Poison every 7th request handler.
+	faultinject.Arm(faultinject.ServerHandlerPanic, func(hit int64, _ any) error {
+		if hit%7 == 0 {
+			panic("chaos: handler poisoned")
+		}
+		return nil
+	})
+	defer faultinject.Disarm(faultinject.ServerHandlerPanic)
+	// Tear every 13th reply frame mid-write.
+	faultinject.Arm(faultinject.ServerFrameTorn, func(hit int64, _ any) error {
+		if hit%13 == 0 {
+			return errors.New("chaos: frame torn")
+		}
+		return nil
+	})
+	defer faultinject.Disarm(faultinject.ServerFrameTorn)
+	// Stall every 11th request read briefly — a slow client under drain.
+	faultinject.Arm(faultinject.ServerConnStall, func(hit int64, _ any) error {
+		if hit%11 == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	})
+	defer faultinject.Disarm(faultinject.ServerConnStall)
+
+	const clients = 6
+	const perClient = 15
+
+	common := keysOf(1500, 100)
+	var (
+		mu        sync.Mutex
+		succeeded int
+		typedErrs int
+		connErrs  int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.Dial(addr, client.Options{MaxRetries: 6, BaseBackoff: 2 * time.Millisecond})
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				seed := uint64(c*perClient + i + 1)
+				local := append(append([]uint64(nil), common...), keysOf(20, seed^0xaaaa)...)
+				remote := append(append([]uint64(nil), common...), keysOf(20, seed^0x5555)...)
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				res, err := cl.Reconcile(ctx, local, remote, seed, 1.5)
+				cancel()
+				mu.Lock()
+				switch {
+				case err == nil:
+					if len(res.OnlyLocal) != 20 || len(res.OnlyRemote) != 20 {
+						t.Errorf("client %d req %d: wrong difference %d/%d", c, i, len(res.OnlyLocal), len(res.OnlyRemote))
+					}
+					succeeded++
+				case func() bool { var se *server.Error; return errors.As(err, &se) }():
+					typedErrs++ // INTERNAL from an injected panic, SHUTTING_DOWN from the drain, ...
+				default:
+					connErrs++ // torn frame, dropped conn, dial after drain
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	// Drain the server while the load is still running: a graceful
+	// SIGTERM mid-flight. In-flight requests finish, the rest get typed
+	// refusals or connection errors — never hangs.
+	drainErr := make(chan error, 1)
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr <- srv.Shutdown(ctx)
+	}()
+
+	wg.Wait()
+	if err := <-drainErr; err != nil {
+		t.Fatalf("mid-load Shutdown: %v", err)
+	}
+
+	total := succeeded + typedErrs + connErrs
+	if total != clients*perClient {
+		t.Fatalf("outcomes %d (ok=%d typed=%d conn=%d), want %d — some request had no terminal outcome",
+			total, succeeded, typedErrs, connErrs, clients*perClient)
+	}
+	if succeeded == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+
+	st := srv.Stats()
+	t.Logf("outcomes: ok=%d typed=%d conn=%d; stats: %+v", succeeded, typedErrs, connErrs, st)
+	if st.RequestsAccepted != st.RepliesSent {
+		t.Fatalf("reply invariant violated under chaos: accepted %d != replies %d", st.RequestsAccepted, st.RepliesSent)
+	}
+	if st.RequestsShed == 0 {
+		t.Fatal("MaxJobs=2 with 6 concurrent clients shed nothing — admission is queueing, not shedding")
+	}
+	if st.RequestsShed != st.Runtime.JobsShed {
+		t.Fatalf("shed accounting split: server %d, runtime %d", st.RequestsShed, st.Runtime.JobsShed)
+	}
+	if st.Runtime.JobsPanicked == 0 {
+		t.Fatal("injected handler panics were not counted — isolation path untested")
+	}
+	if st.ConnPanics != 0 {
+		t.Fatalf("ConnPanics = %d: a handler panic escaped to the read loop", st.ConnPanics)
+	}
+}
+
+// TestReconcileRetryMetadataOverWire: with the first decode forced
+// incomplete, the policy's headroom escalation runs server-side and the
+// reply metadata shows it — two attempts, escalated headroom, and wire
+// bytes accumulated across BOTH attempts (each retry re-ships an
+// estimator and a bigger table, exactly as a real deployment would pay).
+func TestReconcileRetryMetadataOverWire(t *testing.T) {
+	_, addr := startServer(t, server.Options{
+		Workers: 2,
+		Policy:  repro.Policy{ReconcileRetries: 2},
+	})
+	faultinject.Arm(faultinject.ReconcileDecode, faultinject.FailFirst(1, nil))
+	defer faultinject.Disarm(faultinject.ReconcileDecode)
+
+	cl := client.Dial(addr, client.Options{})
+	defer cl.Close()
+	ctx := context.Background()
+
+	common := keysOf(3000, 7)
+	local := append(append([]uint64(nil), common...), keysOf(30, 8)...)
+	remote := append(append([]uint64(nil), common...), keysOf(30, 9)...)
+
+	escalated, err := cl.Reconcile(ctx, local, remote, 5, 1.5)
+	if err != nil {
+		t.Fatalf("Reconcile with forced first-attempt failure: %v", err)
+	}
+	if escalated.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", escalated.Attempts)
+	}
+	if escalated.Headroom != 1.75 {
+		t.Fatalf("final headroom = %v, want 1.5 + one 0.25 step", escalated.Headroom)
+	}
+	if len(escalated.OnlyLocal) != 30 || len(escalated.OnlyRemote) != 30 {
+		t.Fatalf("difference sides %d/%d, want 30/30", len(escalated.OnlyLocal), len(escalated.OnlyRemote))
+	}
+
+	// The failpoint only fails hit 1, so this run converges first try —
+	// its wire bill is the single-attempt baseline the escalated run
+	// must exceed (it paid for two estimator+table exchanges).
+	single, err := cl.Reconcile(ctx, local, remote, 5, 1.5)
+	if err != nil {
+		t.Fatalf("baseline Reconcile: %v", err)
+	}
+	if single.Attempts != 1 {
+		t.Fatalf("baseline Attempts = %d, want 1", single.Attempts)
+	}
+	if escalated.WireBytes <= single.WireBytes {
+		t.Fatalf("escalated WireBytes %d not above single-attempt %d — retries are not accumulating wire cost",
+			escalated.WireBytes, single.WireBytes)
+	}
+}

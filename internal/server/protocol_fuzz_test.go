@@ -1,0 +1,91 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRequestParsers throws arbitrary bytes at every request and reply
+// payload parser. The parsers run on attacker-controlled input before
+// any handler, so the contract is absolute: parse or reject with
+// ErrProtocol — never panic, never allocate beyond the payload the
+// sender paid for (the wireReader bounds every count by the remaining
+// bytes).
+func FuzzRequestParsers(f *testing.F) {
+	f.Add((&reconcileReq{deadline: 5, seed: 9, headroom: 1.5, local: []uint64{1, 2}, remote: []uint64{3}}).encode())
+	f.Add((&decodeReq{deadline: 0, sketch: []byte{1, 2, 3}}).encode())
+	f.Add((&buildReq{deadline: 1, seed: 4, keys: []uint64{5, 6, 7}}).encode())
+	f.Add((&lookupReq{deadline: 0, keys: []uint64{8}}).encode())
+	f.Add((&swapReq{deadline: 2, image: []byte{9}}).encode())
+	f.Add((&estimateReq{deadline: 3, local: []byte{1}, remote: []byte{2}}).encode())
+	f.Add((&ReconcileResult{OnlyLocal: []uint64{1}, OnlyRemote: []uint64{2}, Attempts: 2, WireBytes: 100, Headroom: 1.75}).encode())
+	f.Add((&DecodeResult{Added: []uint64{1}, Removed: []uint64{2}, Complete: true}).encode())
+	f.Add((&LookupResult{Generation: 3, Values: []uint64{4, 5}}).encode())
+	f.Add(encodeErrorPayload(CodeOverloaded, 25_000_000, "overloaded"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // huge count, no data behind it
+
+	check := func(t *testing.T, what string, err error) {
+		if err != nil && !errors.Is(err, ErrProtocol) {
+			t.Fatalf("%s: non-protocol error: %v", what, err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, err := parseReconcileReq(data)
+		check(t, "reconcileReq", err)
+		_, err = parseDecodeReq(data)
+		check(t, "decodeReq", err)
+		_, err = parseBuildReq(data)
+		check(t, "buildReq", err)
+		_, err = parseLookupReq(data)
+		check(t, "lookupReq", err)
+		_, err = parseSwapReq(data)
+		check(t, "swapReq", err)
+		_, err = parseEstimateReq(data)
+		check(t, "estimateReq", err)
+		_, err = parseReconcileResult(data)
+		check(t, "reconcileResult", err)
+		_, err = parseDecodeResult(data)
+		check(t, "decodeResult", err)
+		_, err = parseLookupResult(data)
+		check(t, "lookupResult", err)
+		_, err = parseErrorPayload(data)
+		check(t, "errorPayload", err)
+	})
+}
+
+// TestRequestRoundTrips pins the codec: encode → parse must be
+// lossless for every request shape, so client and server can never
+// disagree on a field offset.
+func TestRequestRoundTrips(t *testing.T) {
+	rq := &reconcileReq{deadline: 7, seed: 11, headroom: 2.25, local: []uint64{1, 2, 3}, remote: []uint64{4}}
+	got, err := parseReconcileReq(rq.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.deadline != rq.deadline || got.seed != rq.seed || got.headroom != rq.headroom ||
+		len(got.local) != 3 || len(got.remote) != 1 || got.local[2] != 3 || got.remote[0] != 4 {
+		t.Fatalf("reconcile round trip: %+v", got)
+	}
+
+	res := &ReconcileResult{OnlyLocal: []uint64{9}, OnlyRemote: []uint64{8, 7}, Attempts: 3, WireBytes: 12345, Headroom: 1.75}
+	rback, err := parseReconcileResult(res.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rback.Attempts != 3 || rback.WireBytes != 12345 || rback.Headroom != 1.75 ||
+		len(rback.OnlyLocal) != 1 || len(rback.OnlyRemote) != 2 {
+		t.Fatalf("reconcile result round trip: %+v", rback)
+	}
+
+	e, err := parseErrorPayload(encodeErrorPayload(CodeOverloaded, 25_000_000, "busy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeOverloaded || e.Msg != "busy" || e.RetryAfter <= 0 {
+		t.Fatalf("error round trip: %+v", e)
+	}
+	if !errors.Is(e, ErrOverloaded) {
+		t.Fatal("parsed error does not match its sentinel")
+	}
+}

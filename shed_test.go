@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestTryGoShedsWhenSaturated: with MaxJobs saturated, TryGo must fail
+// fast with ErrOverloaded — never block, never run the job — and the
+// shed must be observable in Stats().JobsShed.
+func TestTryGoShedsWhenSaturated(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Workers: 2, MaxJobs: 1})
+	defer rt.Shutdown(context.Background())
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	wait, err := rt.Go(context.Background(), func(ctx context.Context, _ *WorkerPool) error {
+		close(started)
+		<-block
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Go: %v", err)
+	}
+	<-started
+
+	ran := false
+	if _, err := rt.TryGo(context.Background(), func(context.Context, *WorkerPool) error {
+		ran = true
+		return nil
+	}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("TryGo under saturation: err = %v, want ErrOverloaded", err)
+	}
+	if ran {
+		t.Fatal("shed job ran")
+	}
+	if got := rt.Stats().JobsShed; got != 1 {
+		t.Fatalf("JobsShed = %d, want 1", got)
+	}
+
+	close(block)
+	if err := wait(); err != nil {
+		t.Fatalf("blocking job: %v", err)
+	}
+	// Slot free again: TryGo admits and runs.
+	wait2, err := rt.TryGo(context.Background(), func(context.Context, *WorkerPool) error { return nil })
+	if err != nil {
+		t.Fatalf("TryGo after release: %v", err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatalf("admitted TryGo job: %v", err)
+	}
+	if got := rt.Stats().JobsShed; got != 1 {
+		t.Fatalf("JobsShed = %d after successful admit, want still 1", got)
+	}
+}
+
+// TestTryGoShedAfterShutdown: a closed Runtime reports ErrRuntimeClosed
+// (a terminal "go away"), not ErrOverloaded (a retryable "later") — the
+// two must never be conflated, because clients retry one and not the
+// other.
+func TestTryGoShedAfterShutdown(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Workers: 1, MaxJobs: 4})
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := rt.TryGo(context.Background(), func(context.Context, *WorkerPool) error { return nil }); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("TryGo after shutdown: err = %v, want ErrRuntimeClosed", err)
+	}
+	if got := rt.Stats().JobsShed; got != 0 {
+		t.Fatalf("JobsShed = %d after shutdown rejection, want 0", got)
+	}
+}
+
+// TestDefaultRuntimeRecoversAfterShutdown is the supervised-default
+// contract at the Runtime level (ROADMAP item 5 remainder): after the
+// shared default Runtime is shut down, the next DefaultRuntime call
+// must return a fresh, working Runtime instead of a permanently closed
+// one that degrades every facade helper to its serial fallback.
+func TestDefaultRuntimeRecoversAfterShutdown(t *testing.T) {
+	old := DefaultRuntime()
+	if err := old.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The old handle stays closed.
+	if _, err := old.Peel(context.Background(), NewUniformHypergraph(64, 32, 3, 7), 2, PeelOptions{}); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("old handle after shutdown: err = %v, want ErrRuntimeClosed", err)
+	}
+
+	fresh := DefaultRuntime()
+	if fresh == old {
+		t.Fatal("DefaultRuntime returned the closed Runtime")
+	}
+	res, err := fresh.Peel(context.Background(), NewUniformHypergraph(64, 32, 3, 7), 2, PeelOptions{})
+	if err != nil {
+		t.Fatalf("Peel on recreated default Runtime: %v", err)
+	}
+	if res == nil {
+		t.Fatal("nil result from recreated default Runtime")
+	}
+	// And the facade helpers are back on a live runtime, with
+	// parallelism, rather than the degraded serial fallback.
+	if got := DefaultRuntime().Workers(); got < 1 {
+		t.Fatalf("recreated default Runtime Workers() = %d", got)
+	}
+	if DefaultRuntime() != fresh {
+		t.Fatal("DefaultRuntime not stable while open")
+	}
+}
+
+// TestReconcileMetaSingleAttempt: a reconciliation that completes on the
+// first try reports Attempts = 1 and the wire cost of exactly one
+// estimator + one table exchange.
+func TestReconcileMetaSingleAttempt(t *testing.T) {
+	rt := NewRuntime(RuntimeOptions{Workers: 2})
+	defer rt.Shutdown(context.Background())
+
+	common := testRuntimeKeys(3000, 11)
+	local := append(append([]uint64(nil), common...), testRuntimeKeys(40, 12)...)
+	remote := append(append([]uint64(nil), common...), testRuntimeKeys(40, 13)...)
+
+	onlyL, onlyR, meta, err := rt.ReconcileMeta(context.Background(), local, remote, 99, 1.5)
+	if err != nil {
+		t.Fatalf("ReconcileMeta: %v", err)
+	}
+	if len(onlyL) != 40 || len(onlyR) != 40 {
+		t.Fatalf("difference sizes %d/%d, want 40/40", len(onlyL), len(onlyR))
+	}
+	if meta.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", meta.Attempts)
+	}
+	if meta.WireBytes <= 0 {
+		t.Fatalf("WireBytes = %d, want > 0", meta.WireBytes)
+	}
+	if meta.FinalHeadroom != 1.5 {
+		t.Fatalf("FinalHeadroom = %v, want 1.5", meta.FinalHeadroom)
+	}
+	// Wire accounting agrees with the plain Reconcile spelling.
+	_, _, wb, err := rt.Reconcile(context.Background(), local, remote, 99, 1.5)
+	if err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if wb != meta.WireBytes {
+		t.Fatalf("Reconcile wireBytes %d != ReconcileMeta.WireBytes %d", wb, meta.WireBytes)
+	}
+}

@@ -230,13 +230,30 @@ func ReconcileWithPool(localKeys, remoteKeys []uint64, seed uint64, headroom flo
 	return ReconcileCtx(context.Background(), localKeys, remoteKeys, seed, headroom, pool)
 }
 
+// MaxHeadroom caps the safety headroom ReconcileCtx honors. headroom
+// multiplies the difference-table allocation, so an unbounded value —
+// e.g. lifted straight off a wire request — would turn a small request
+// into an arbitrarily large server-side allocation. 16 is far above any
+// useful oversizing (the decode threshold needs ~1.22; Policy
+// escalation caps at 4 by default); larger values clamp here and are
+// rejected outright by the wire server's request parser.
+const MaxHeadroom = 16.0
+
 // ReconcileCtx is ReconcileWithPool with cooperative cancellation,
 // checked between protocol phases, inside the bulk insert passes, and at
 // the decode's subround barriers. On cancellation it returns ctx.Err()
-// and all partial protocol state is abandoned.
+// and all partial protocol state is abandoned. headroom is clamped into
+// [1.25, MaxHeadroom], and the difference table is never sized beyond
+// what the two input sets themselves justify, so untrusted parameters
+// cannot drive an allocation disproportionate to the keys provided.
 func ReconcileCtx(ctx context.Context, localKeys, remoteKeys []uint64, seed uint64, headroom float64, pool *parallel.Pool) (onlyLocal, onlyRemote []uint64, wireBytes int, err error) {
-	if headroom < 1.25 {
+	// !(>= 1.25) rather than < 1.25 so NaN (every comparison false)
+	// lands on the floor instead of slipping through.
+	if !(headroom >= 1.25) {
 		headroom = 1.25
+	}
+	if headroom > MaxHeadroom {
+		headroom = MaxHeadroom
 	}
 	// Round 1: exchange strata estimators.
 	le := NewStrataEstimator(seed)
@@ -252,6 +269,14 @@ func ReconcileCtx(ctx context.Context, localKeys, remoteKeys []uint64, seed uint
 	est := le.Estimate()
 	if est == 0 {
 		est = 1
+	}
+	// The symmetric difference cannot exceed the two sets combined, so an
+	// estimate extrapolated past that bound (a deep stratum scaled by
+	// 2^i — count<<32 can even wrap negative) never justifies a larger
+	// table: the cap keeps the allocation proportional to the keys the
+	// caller actually supplied.
+	if ub := len(localKeys) + len(remoteKeys); est < 0 || est > ub {
+		est = ub
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, wireBytes, err

@@ -3,6 +3,7 @@ package iblt
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/parallel"
@@ -51,6 +52,33 @@ func equalBytes(a, b []byte) bool {
 		}
 	}
 	return true
+}
+
+// TestReconcileHeadroomClamped: an absurd headroom — e.g. lifted off a
+// hostile wire request — must not scale the difference table with it.
+// The clamp to MaxHeadroom plus the union-size cap on the estimate keep
+// the allocation proportional to the keys supplied; without them this
+// call would attempt a ~1e18-cell table (or wrap the float-to-int
+// conversion and panic New). The reconciliation still succeeds.
+func TestReconcileHeadroomClamped(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	gen := rng.New(11)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		for keys[i] == 0 {
+			keys[i] = gen.Uint64()
+		}
+	}
+	for _, h := range []float64{1e18, math.Inf(1), math.NaN()} {
+		onlyL, onlyR, _, err := ReconcileCtx(context.Background(), keys, keys[:900], 3, h, pool)
+		if err != nil {
+			t.Fatalf("headroom %v: %v", h, err)
+		}
+		if len(onlyL) != 100 || len(onlyR) != 0 {
+			t.Fatalf("headroom %v: difference %d/%d, want 100/0", h, len(onlyL), len(onlyR))
+		}
+	}
 }
 
 // TestReconcileCtxCancel checks a reconciliation request is abandoned on

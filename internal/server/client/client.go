@@ -112,10 +112,12 @@ type Client struct {
 	addr string
 	opts Options
 
-	mu     sync.Mutex
-	cc     *clientConn // current transport, nil until first send
-	nextID uint64
-	closed bool
+	mu         sync.Mutex
+	cc         *clientConn // current transport, nil until first send
+	nextID     uint64
+	closed     bool
+	dialing    chan struct{}      // non-nil while a dial is in flight; closed when it settles
+	dialCancel context.CancelFunc // interrupts the in-flight dial (Close)
 }
 
 // clientConn is one transport generation: a socket, its reader
@@ -144,12 +146,16 @@ func Dial(addr string, opts Options) *Client {
 }
 
 // Close tears down the transport; in-flight calls fail with connection
-// loss. Safe to call twice.
+// loss, and an in-progress redial is canceled rather than waited out.
+// Safe to call twice.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	cc := c.cc
 	c.cc = nil
 	c.closed = true
+	if c.dialCancel != nil {
+		c.dialCancel()
+	}
 	c.mu.Unlock()
 	if cc != nil {
 		cc.nc.Close()
@@ -158,35 +164,82 @@ func (c *Client) Close() error {
 }
 
 // conn returns the live transport, dialing a fresh one if the current
-// generation is nil, dead, or draining.
+// generation is nil, dead, or draining. The dial itself runs with c.mu
+// released — a slow or failing redial (up to DialTimeout) must not
+// block every concurrent call, nor Close. Concurrent callers wait on
+// the dialing channel instead of stacking duplicate dials, and closed/
+// cc are re-checked once the dial settles.
 func (c *Client) conn(ctx context.Context) (*clientConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
-	}
-	if cc := c.cc; cc != nil {
-		cc.mu.Lock()
-		usable := cc.dead == nil && !cc.draining
-		cc.mu.Unlock()
-		if usable {
-			return cc, nil
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
 		}
+		if cc := c.cc; cc != nil {
+			cc.mu.Lock()
+			usable := cc.dead == nil && !cc.draining
+			cc.mu.Unlock()
+			if usable {
+				c.mu.Unlock()
+				return cc, nil
+			}
+		}
+		if ch := c.dialing; ch != nil {
+			// Another call owns the dial; wait for it to settle, then
+			// re-check from the top (it may have failed).
+			c.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		dctx, dcancel := context.WithCancel(ctx)
+		ch := make(chan struct{})
+		c.dialing, c.dialCancel = ch, dcancel
+		c.mu.Unlock()
+
+		cc, err := dialConn(dctx, c.addr, c.opts)
+		dcancel()
+
+		c.mu.Lock()
+		c.dialing, c.dialCancel = nil, nil
+		closed := c.closed
+		if err == nil && !closed {
+			c.cc = cc
+		}
+		c.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		if closed {
+			// Close raced the dial; honor it rather than resurrecting a
+			// transport the caller already tore down.
+			cc.nc.Close()
+			return nil, ErrClosed
+		}
+		return cc, nil
 	}
-	d := net.Dialer{Timeout: c.opts.dialTimeout()}
-	nc, err := d.DialContext(ctx, "tcp", c.addr)
+}
+
+// dialConn establishes one transport generation: socket, preface,
+// reader goroutine. It holds no Client locks.
+func dialConn(ctx context.Context, addr string, opts Options) (*clientConn, error) {
+	d := net.Dialer{Timeout: opts.dialTimeout()}
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	if _, err := nc.Write([]byte(server.Preface)); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: preface: %w", err)
 	}
 	cc := &clientConn{nc: nc, pending: make(map[uint64]chan reply)}
-	c.cc = cc
-	maxFrame := c.opts.maxFrame()
 	//peelvet:allow nospawn -- per-connection reply demultiplexer: it owns the read side of the socket, terminates when the conn dies, and flushes every pending waiter on exit (no request waits forever)
-	go cc.readLoop(maxFrame)
+	go cc.readLoop(opts.maxFrame())
 	return cc, nil
 }
 

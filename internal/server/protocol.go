@@ -41,6 +41,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"repro/internal/iblt"
 )
 
 // Preface is the 8-byte connection preface a client sends before its
@@ -408,8 +410,12 @@ func parseReconcileReq(p []byte) (*reconcileReq, error) {
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	if math.IsNaN(q.headroom) || math.IsInf(q.headroom, 0) || q.headroom < 0 {
-		return nil, fmt.Errorf("%w: headroom %v", ErrProtocol, q.headroom)
+	// The upper bound matters as much as the lower: headroom multiplies
+	// the server-side difference-table allocation, so an uncapped value
+	// in a tiny frame would be a remotely triggered OOM. ReconcileCtx
+	// clamps again as defense in depth; the wire rejects outright.
+	if math.IsNaN(q.headroom) || q.headroom < 0 || q.headroom > iblt.MaxHeadroom {
+		return nil, fmt.Errorf("%w: headroom %v outside [0, %v]", ErrProtocol, q.headroom, float64(iblt.MaxHeadroom))
 	}
 	return q, nil
 }

@@ -187,9 +187,13 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.draining.Load() {
 			// Raced with Shutdown: refuse politely instead of serving on
-			// a connection drain will never see.
+			// a connection drain will never see. goAway (not a bare
+			// writeFrame) so the refusal carries the same write deadline
+			// — a stuck peer cannot stall the accept loop's final
+			// iterations — and counts in GoAwaysSent like every other
+			// drain notice.
 			s.mu.Unlock()
-			c.writeFrame(TypeGoAway, 0, nil)
+			c.goAway()
 			nc.Close()
 			continue
 		}
@@ -223,8 +227,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if ln != nil {
 		ln.Close()
 	}
+	// goAway waits for the connection's write mutex (an in-flight reply
+	// finishes flushing first), so each notice goes out on its own
+	// goroutine: one connection mid-write to a slow client must not
+	// delay the others' notices or the Runtime drain below. The
+	// goroutines are joined before Shutdown returns; a stuck one is
+	// unstuck by the force-close below at the latest.
+	var goAways sync.WaitGroup
 	for _, c := range conns {
-		c.goAway()
+		goAways.Add(1)
+		//peelvet:allow nospawn -- drain notifier: joined by goAways.Wait below, bounded by goAway's own write deadline plus the force-close of its connection
+		go func() {
+			defer goAways.Done()
+			c.goAway()
+		}()
 	}
 
 	err := s.rt.Shutdown(ctx) // nil on clean drain, ctx.Err() on expiry
@@ -240,6 +256,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, c := range conns {
 		c.nc.Close()
 	}
+	goAways.Wait()
 	s.connWG.Wait()
 	return err
 }
@@ -250,6 +267,15 @@ type conn struct {
 	s  *Server
 	nc net.Conn
 
+	// ctx is the connection's lifetime context: every handler context
+	// derives from it, and run cancels it on exit, so work admitted for
+	// a connection that has since died is reclaimed (CodeCanceled)
+	// instead of running to completion holding a MaxJobs slot. Set
+	// before run's read loop starts; nil only on the accept-race
+	// refusal path, which never serves a request.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	writeMu sync.Mutex
 	wbuf    []byte
 	dead    bool // a torn write poisoned the stream; no further writes
@@ -259,11 +285,13 @@ type conn struct {
 // connection: the recover below counts it and closes the socket, and
 // every other connection — and the server — keeps going.
 func (c *conn) run() {
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	defer c.s.connWG.Done()
 	defer func() {
 		if v := recover(); v != nil {
 			c.s.connPanics.Add(1)
 		}
+		c.cancel() // reclaim handlers still running for this dead conn
 		c.nc.Close()
 		c.s.mu.Lock()
 		delete(c.s.conns, c)
@@ -310,7 +338,11 @@ func (c *conn) serveRequest(typ byte, id uint64, payload []byte) {
 	}
 	dl := time.Duration(uint32(payload[0])|uint32(payload[1])<<8|uint32(payload[2])<<16|uint32(payload[3])<<24) * time.Millisecond
 
-	ctx := context.Background()
+	// Derive from the connection's context, not Background: when the
+	// connection dies (or Shutdown force-closes it), run's cancel
+	// propagates here and in-flight work for the vanished client is
+	// abandoned at the next barrier instead of holding a MaxJobs slot.
+	ctx := c.ctx
 	cancel := context.CancelFunc(func() {})
 	if dl > 0 {
 		ctx, cancel = context.WithTimeout(ctx, dl)
@@ -482,11 +514,19 @@ func (c *conn) reply(id uint64, typ byte, payload []byte) error {
 	return c.writeFrame(typ, id, payload)
 }
 
-// goAway sends the drain notice with a short write deadline so a stuck
-// peer cannot stall Shutdown.
+// goAway sends the drain notice. The write mutex is acquired before the
+// deadline is set: SetWriteDeadline applies to writes already in flight,
+// so setting it first could tear a reply mid-flush to a slow client —
+// violating the drain guarantee. Once the stream is ours, a short
+// deadline bounds the GOAWAY write itself (a stuck peer cannot hold it),
+// and it is cleared again before the mutex is released. Callers that
+// must not block behind an in-flight reply run goAway on its own
+// goroutine (Shutdown does).
 func (c *conn) goAway() {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	c.nc.SetWriteDeadline(time.Now().Add(time.Second))
-	if c.writeFrame(TypeGoAway, 0, nil) == nil {
+	if c.writeFrameLocked(TypeGoAway, 0, nil) == nil {
 		c.s.goAwaysSent.Add(1)
 	}
 	c.nc.SetWriteDeadline(time.Time{})
@@ -498,6 +538,11 @@ func (c *conn) goAway() {
 func (c *conn) writeFrame(typ byte, id uint64, payload []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	return c.writeFrameLocked(typ, id, payload)
+}
+
+// writeFrameLocked is writeFrame with c.writeMu already held.
+func (c *conn) writeFrameLocked(typ byte, id uint64, payload []byte) error {
 	if c.dead {
 		return net.ErrClosed
 	}

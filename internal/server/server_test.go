@@ -5,11 +5,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/iblt"
 	"repro/internal/rng"
 )
 
@@ -197,6 +199,87 @@ func TestShortPayloadGetsTypedReply(t *testing.T) {
 	}
 	if e.Code != CodeBadRequest {
 		t.Fatalf("code = %v, want BAD_REQUEST", e.Code)
+	}
+}
+
+// TestHostileHeadroomRejected: the reconcile headroom multiplies a
+// server-side allocation (the difference table), so values beyond
+// iblt.MaxHeadroom must be refused as BAD_REQUEST at parse time — a
+// tiny frame asking for headroom 1e9 would otherwise drive a multi-GB
+// allocation before any work was admitted.
+func TestHostileHeadroomRejected(t *testing.T) {
+	_, addr := startServer(t, Options{Workers: 1})
+	nc := dialRaw(t, addr)
+
+	for i, h := range []float64{1e9, math.Inf(1), math.Inf(-1), math.NaN(), -1, iblt.MaxHeadroom + 0.5} {
+		id := uint64(i + 1)
+		req := EncodeReconcileReq(0, 7, h, []uint64{1, 2}, []uint64{2, 3})
+		if _, err := nc.Write(appendFrame(nil, OpReconcile, id, req)); err != nil {
+			t.Fatalf("write headroom %v: %v", h, err)
+		}
+		typ, gotID, payload := readReply(t, nc)
+		if typ != TypeError || gotID != id {
+			t.Fatalf("headroom %v: reply typ=%#x id=%d, want ERROR id=%d", h, typ, gotID, id)
+		}
+		if e, err := ParseError(payload); err != nil || e.Code != CodeBadRequest {
+			t.Fatalf("headroom %v: %v (parse err %v), want BAD_REQUEST", h, e, err)
+		}
+	}
+
+	// The ceiling itself is a valid request.
+	req := EncodeReconcileReq(0, 7, iblt.MaxHeadroom, []uint64{1, 2}, []uint64{2, 3})
+	if _, err := nc.Write(appendFrame(nil, OpReconcile, 99, req)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if typ, id, _ := readReply(t, nc); typ != TypeResult || id != 99 {
+		t.Fatalf("headroom at the cap: typ=%#x id=%d, want RESULT id=99", typ, id)
+	}
+}
+
+// TestConnDeathCancelsHandlers: a handler admitted for a connection
+// that has since died must be reclaimed — request contexts derive from
+// the connection's context, which run cancels on exit — instead of a
+// no-deadline job for a vanished client running to completion while
+// holding a MaxJobs slot.
+func TestConnDeathCancelsHandlers(t *testing.T) {
+	srv, addr := startServer(t, Options{Workers: 2, MaxJobs: 1})
+	nc := dialRaw(t, addr)
+
+	// Heavy and deadline-free: nothing but cancellation bounds it.
+	req := EncodeReconcileReq(0, 7, 1.5, testKeys(400_000, 1), testKeys(400_000, 2))
+	if _, err := nc.Write(appendFrame(nil, OpReconcile, 3, req)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.Stats().RequestsAccepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never accepted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var c *conn
+	srv.mu.Lock()
+	for cc := range srv.conns {
+		c = cc
+	}
+	srv.mu.Unlock()
+	if c == nil {
+		t.Fatal("no registered conn")
+	}
+
+	nc.Close()
+	select {
+	case <-c.ctx.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("connection context not canceled after the socket died")
+	}
+	// The abandoned job notices at its next barrier and frees the slot.
+	for srv.Runtime().Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d long after conn death, want 0", srv.Runtime().Stats().InFlight)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
